@@ -1,0 +1,29 @@
+"""Fig. 1 benchmark: example Pareto front, exact vs. NSGA-II.
+
+Shape claims: the heuristic never produces a point better than the exact
+front, and (being restricted to shortest-path routing) typically finds a
+subset/approximation of it.
+"""
+
+from repro.bench.experiments import fig1_front
+from repro.dse.pareto import weakly_dominates
+
+
+def test_fig1_exact_vs_heuristic(benchmark, budget):
+    fronts = benchmark.pedantic(
+        fig1_front,
+        kwargs={"tasks": 6, "seed": 1, "conflict_limit": budget},
+        rounds=1,
+        iterations=1,
+    )
+    exact = fronts["exact"]
+    heuristic = fronts["nsga2"]
+    assert exact, "exact front must not be empty"
+    # No heuristic point may dominate the exact front.
+    for h in heuristic:
+        assert any(weakly_dominates(e, h) for e in exact), h
+    # The exact front is mutually non-dominated.
+    for a in exact:
+        for b in exact:
+            if a != b:
+                assert not weakly_dominates(a, b)

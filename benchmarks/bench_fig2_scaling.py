@@ -1,0 +1,17 @@
+"""Fig. 2 benchmark: search effort scaling with task count."""
+
+from repro.bench.experiments import fig2_scaling
+
+
+def test_fig2_scaling(benchmark, budget):
+    series = benchmark.pedantic(
+        fig2_scaling,
+        kwargs={"task_counts": (3, 4, 5, 6), "conflict_limit": budget},
+        rounds=1,
+        iterations=1,
+    )
+    dse = dict(series["aspmt-dse conflicts"])
+    # Effort grows with instance size (largest >= smallest; the curve is
+    # noisy in between, which matches the paper's per-instance variance).
+    assert dse[6] >= dse[3]
+    assert set(dse) == {3, 4, 5, 6}

@@ -1,0 +1,30 @@
+"""Fig. 3 benchmark: partial-assignment dominance propagation ablation.
+
+Shape claim: switching the propagator's partial-assignment pruning off
+never changes the computed front (exactness is preserved by the
+solution-level check) but moves the pruning work from partial
+assignments to total ones.
+"""
+
+from repro.bench.experiments import fig3_pruning_ablation
+
+
+def test_fig3_pruning_ablation(benchmark, budget):
+    columns, rows = benchmark.pedantic(
+        fig3_pruning_ablation,
+        kwargs={"suites": ("tiny",), "conflict_limit": budget},
+        rounds=1,
+        iterations=1,
+    )
+    by_instance = {}
+    for row in rows:
+        by_instance.setdefault(row["instance"], {})[row["partial_pruning"]] = row
+    for name, variants in by_instance.items():
+        with_pruning = variants[True]
+        without = variants[False]
+        assert with_pruning["pareto"] == without["pareto"], name
+        # With partial pruning enabled, pruning fires before assignments
+        # are total; without it, all pruning happens at total assignments.
+        assert with_pruning["pruned_partial"] > 0, name
+        assert without["pruned_partial"] == 0, name
+        assert without["pruned_total"] > 0, name

@@ -1,0 +1,59 @@
+"""Fig. 4 benchmark: list vs. quad-tree Pareto archive.
+
+Shape claims: both archives keep identical non-dominated sets, and on
+well-spread synthetic workloads the quad-tree performs fewer pairwise
+comparisons than the linear scan.
+"""
+
+import random
+
+from repro.bench.experiments import fig4_archive_ablation
+from repro.dse.pareto import ListArchive
+from repro.dse.quadtree import QuadTreeArchive
+
+
+def test_fig4_archive_ablation(benchmark):
+    columns, rows = benchmark.pedantic(
+        fig4_archive_ablation,
+        kwargs={"sizes": (100, 400), "dse_tasks": 5},
+        rounds=1,
+        iterations=1,
+    )
+    by_workload = {}
+    for row in rows:
+        by_workload.setdefault(row["workload"], {})[row["archive"]] = row
+    for workload, archives in by_workload.items():
+        assert (
+            archives["list"]["points_kept"] == archives["quadtree"]["points_kept"]
+        ), workload
+    # On the larger synthetic workload the quad-tree must win comparisons.
+    large = by_workload["synthetic_n400"]
+    assert large["quadtree"]["comparisons"] < large["list"]["comparisons"]
+
+
+def test_fig4_insertion_throughput_list(benchmark):
+    rng = random.Random(3)
+    points = [tuple(rng.randint(0, 500) for _ in range(3)) for _ in range(800)]
+
+    def insert_all():
+        archive = ListArchive()
+        for point in points:
+            archive.add(point, None)
+        return archive
+
+    archive = benchmark(insert_all)
+    assert len(archive) > 0
+
+
+def test_fig4_insertion_throughput_quadtree(benchmark):
+    rng = random.Random(3)
+    points = [tuple(rng.randint(0, 500) for _ in range(3)) for _ in range(800)]
+
+    def insert_all():
+        archive = QuadTreeArchive()
+        for point in points:
+            archive.add(point, None)
+        return archive
+
+    archive = benchmark(insert_all)
+    assert len(archive) > 0

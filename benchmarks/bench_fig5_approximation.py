@@ -1,0 +1,25 @@
+"""Fig. 5 benchmark (extension): epsilon-dominance approximation.
+
+Shape claims: the measured additive-epsilon indicator never exceeds the
+configured epsilon (the approximation guarantee), the front never grows
+with epsilon, and epsilon=0 reproduces the exact front.
+"""
+
+from repro.bench.experiments import fig5_approximation
+
+
+def test_fig5_approximation(benchmark, budget):
+    columns, rows = benchmark.pedantic(
+        fig5_approximation,
+        kwargs={"epsilons": (0, 2, 6), "tasks": 6, "conflict_limit": budget},
+        rounds=1,
+        iterations=1,
+    )
+    by_epsilon = {row["epsilon"]: row for row in rows}
+    assert by_epsilon[0]["measured_eps"] == 0
+    assert by_epsilon[0]["coverage"] == 1.0
+    for epsilon, row in by_epsilon.items():
+        assert row["measured_eps"] <= epsilon, row
+    # The archive can only shrink as the pruning gets more aggressive.
+    assert by_epsilon[6]["front"] <= by_epsilon[0]["front"]
+    assert by_epsilon[2]["front"] <= by_epsilon[0]["front"]

@@ -1,0 +1,21 @@
+"""Fig. 6 benchmark (extension): objective-aware decision phases.
+
+Shape claim: the heuristic is an optimization only — the computed front
+is identical with and without it.
+"""
+
+from repro.bench.experiments import fig6_heuristics
+
+
+def test_fig6_heuristics(benchmark, budget):
+    columns, rows = benchmark.pedantic(
+        fig6_heuristics,
+        kwargs={"suites": ("tiny",), "conflict_limit": budget},
+        rounds=1,
+        iterations=1,
+    )
+    by_instance = {}
+    for row in rows:
+        by_instance.setdefault(row["instance"], {})[row["phases"]] = row
+    for name, variants in by_instance.items():
+        assert variants[True]["pareto"] == variants[False]["pareto"], name

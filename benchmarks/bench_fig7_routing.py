@@ -1,0 +1,27 @@
+"""Fig. 7 benchmark (extension): routing freedom vs. fixed routing.
+
+Shape claims: free routing covers its own front fully (coverage 1.0) and
+its front is a superset-quality reference (fixed coverage <= 1.0); the
+restricted space never yields *better* points (asserted separately in
+tests/test_fixed_routing.py via dominance).
+"""
+
+from repro.bench.experiments import fig7_routing
+
+
+def test_fig7_routing(benchmark, budget):
+    columns, rows = benchmark.pedantic(
+        fig7_routing,
+        kwargs={"suites": ("tiny",), "conflict_limit": budget},
+        rounds=1,
+        iterations=1,
+    )
+    by_instance = {}
+    for row in rows:
+        by_instance.setdefault(row["instance"], {})[row["routing"]] = row
+    for name, variants in by_instance.items():
+        free = variants["free"]
+        fixed = variants["fixed"]
+        assert free["coverage"] == 1.0, name
+        assert 0.0 <= fixed["coverage"] <= 1.0, name
+        assert fixed["pareto"] >= 1, name

@@ -1,0 +1,29 @@
+"""Fig. 8 benchmark (extension): CDNL solver knob ablation.
+
+Shape claims: every variant (no restarts, no phase saving, stacked
+difference-logic propagator) computes the identical exact front — the
+knobs affect effort only, never the result.
+"""
+
+from repro.bench.experiments import fig8_solver_ablation
+
+
+def test_fig8_solver_ablation(benchmark, budget):
+    columns, rows = benchmark.pedantic(
+        fig8_solver_ablation,
+        kwargs={"suites": ("tiny",), "conflict_limit": budget},
+        rounds=1,
+        iterations=1,
+    )
+    by_instance = {}
+    for row in rows:
+        by_instance.setdefault(row["instance"], {})[row["variant"]] = row
+    for name, variants in by_instance.items():
+        assert set(variants) == {
+            "default",
+            "no-restarts",
+            "no-phase-saving",
+            "with-dl",
+        }, name
+        fronts = {v["pareto"] for v in variants.values()}
+        assert len(fronts) == 1, (name, variants)

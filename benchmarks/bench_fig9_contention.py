@@ -1,0 +1,22 @@
+"""Fig. 9 benchmark (extension): link-contention refinement.
+
+Shape claim: serializing shared-link transmissions never *improves* the
+latency-optimal point (contention can only delay deliveries).
+"""
+
+from repro.bench.experiments import fig9_contention
+
+
+def test_fig9_contention(benchmark, budget):
+    columns, rows = benchmark.pedantic(
+        fig9_contention,
+        kwargs={"suites": ("tiny",), "conflict_limit": budget},
+        rounds=1,
+        iterations=1,
+    )
+    by_instance = {}
+    for row in rows:
+        by_instance.setdefault(row["instance"], {})[row["contention"]] = row
+    for name, variants in by_instance.items():
+        assert variants[True]["best_latency"] >= variants[False]["best_latency"], name
+        assert variants[True]["pareto"] >= 1, name

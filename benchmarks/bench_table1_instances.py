@@ -1,0 +1,23 @@
+"""Table I benchmark: instance generation and characterization.
+
+Times the seeded workload generator producing the full instance table;
+also asserts the generated characteristics stay within the published
+parameter ranges (so the table cannot silently drift).
+"""
+
+from repro.bench.experiments import table1_instances
+
+
+def test_table1_generation(benchmark):
+    columns, rows = benchmark(table1_instances, ("tiny", "small"))
+    assert "binding_space" in columns
+    assert rows
+    for row in rows:
+        assert row["tasks"] >= 3
+        assert row["mapping_options"] >= row["tasks"]
+        assert row["binding_space"] >= 2
+
+
+def test_table1_medium_suite(benchmark):
+    _columns, rows = benchmark(table1_instances, ("medium",))
+    assert all(8 <= row["tasks"] <= 12 for row in rows)

@@ -1,0 +1,90 @@
+"""Table II benchmark: exact multi-objective DSE vs. baselines.
+
+Each benchmark times one method over the tiny suite (benchmark mode uses
+tiny instances + a reduced conflict budget; ``python -m repro.bench
+table2`` runs the full-size table).  The assertions encode the *shape*
+claims of the paper: all exact methods agree on the front, and the
+proposed dominance-propagating DSE needs the fewest solver calls and no
+more enumerated models than any baseline.
+"""
+
+import pytest
+
+from repro.baselines import epsilon_constraint_front, exhaustive_front, solution_level_front
+from repro.bench.experiments import table2_dse
+from repro.dse.explorer import ExactParetoExplorer
+from repro.synthesis.encoding import encode
+from repro.workloads import suite
+
+
+@pytest.fixture(scope="module")
+def instances():
+    return [(i.name, encode(i.specification)) for i in suite("tiny")]
+
+
+def test_table2_proposed_aspmt_dse(benchmark, instances, budget):
+    def run():
+        return [
+            ExactParetoExplorer(
+                encoded, conflict_limit=budget, validate_models=False
+            ).run()
+            for _name, encoded in instances
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(not r.statistics.interrupted for r in results)
+
+
+def test_table2_solution_level(benchmark, instances, budget):
+    def run():
+        return [
+            solution_level_front(encoded, conflict_limit=budget)
+            for _name, encoded in instances
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(r.exact for r in results)
+
+
+def test_table2_epsilon_constraint(benchmark, instances, budget):
+    def run():
+        return [
+            epsilon_constraint_front(encoded, conflict_limit=budget)
+            for _name, encoded in instances
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(r.exact for r in results)
+
+
+def test_table2_exhaustive(benchmark, instances, budget):
+    def run():
+        return [
+            exhaustive_front(encoded, conflict_limit=budget)
+            for _name, encoded in instances
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(r.exact for r in results)
+
+
+def test_table2_shape_claims(budget):
+    """The qualitative Table II statement, asserted."""
+    columns, rows = table2_dse(
+        ("tiny",),
+        conflict_limit=budget,
+        methods=("aspmt-dse", "solution-level", "epsilon"),
+    )
+    by_instance = {}
+    for row in rows:
+        by_instance.setdefault(row["instance"], {})[row["method"]] = row
+    for name, methods in by_instance.items():
+        proposed = methods["aspmt-dse"]
+        solution = methods["solution-level"]
+        epsilon = methods["epsilon-constraint"]
+        # All exact methods find the same number of Pareto points.
+        assert proposed["pareto"] == solution["pareto"] == epsilon["pareto"], name
+        # Single incremental run vs. many epsilon descents.
+        assert proposed["solves"] < epsilon["solves"], name
+        # Dominance propagation never enumerates more models.
+        assert proposed["models"] <= epsilon["models"], name

@@ -1,0 +1,17 @@
+"""Shared configuration for the benchmark suite.
+
+The benchmarks wrap the experiment functions of :mod:`repro.bench` in
+pytest-benchmark fixtures with *reduced* workloads and budgets so the
+whole suite completes in a few minutes; run ``python -m repro.bench all``
+for the full-size tables reported in EXPERIMENTS.md.
+"""
+
+import pytest
+
+#: Conflict budget per solver run in benchmark mode.
+BENCH_BUDGET = 4_000
+
+
+@pytest.fixture
+def budget():
+    return BENCH_BUDGET

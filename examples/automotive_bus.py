@@ -1,0 +1,104 @@
+"""Automotive ECU consolidation on a shared bus, with serialization.
+
+Several control functions (sensor fusion, two control loops, a logger)
+are consolidated onto a small number of ECUs attached to one bus.  ECUs
+execute one task at a time, so the encoding's *resource serialization*
+option is enabled: tasks bound to the same ECU are totally ordered by the
+scheduler, and the latency objective reflects the interleaving.
+
+This example also shows driving the explorer from an already-encoded
+instance (to pass encoding options).
+
+Run:  python examples/automotive_bus.py
+"""
+
+from repro.bench.render import render_table
+from repro.dse.explorer import ExactParetoExplorer
+from repro.synthesis import (
+    Application,
+    MappingOption,
+    Message,
+    Specification,
+    Task,
+    bus,
+    encode,
+)
+
+
+def build_specification() -> Specification:
+    application = Application(
+        tasks=(
+            Task("fusion"),
+            Task("lateral"),
+            Task("longitudinal"),
+            Task("logger"),
+        ),
+        messages=(
+            Message("env_lat", "fusion", "lateral", size=2),
+            Message("env_long", "fusion", "longitudinal", size=2),
+            Message("trace", "lateral", "logger", size=1),
+        ),
+    )
+    architecture = bus(3, seed=5)
+    ecus = [r for r in architecture.resources if r.name != "bus"]
+    workload = {"fusion": (4, 4), "lateral": (3, 3), "longitudinal": (3, 3), "logger": (1, 1)}
+    factors = {2: (150, 70), 4: (100, 100), 8: (60, 160), 12: (30, 220)}
+    mappings = []
+    for task, (wcet, energy) in workload.items():
+        for ecu in ecus:
+            wf, ef = factors[ecu.cost]
+            mappings.append(
+                MappingOption(
+                    task,
+                    ecu.name,
+                    wcet=max(1, wcet * wf // 100),
+                    energy=max(1, energy * ef // 100),
+                )
+            )
+    return Specification(application, architecture, tuple(mappings))
+
+
+def main() -> None:
+    specification = build_specification()
+    print("instance:", specification.summary())
+
+    instance = encode(
+        specification, objectives=("latency", "cost"), serialize=True
+    )
+    result = ExactParetoExplorer(instance, conflict_limit=40_000).run()
+
+    rows = []
+    for point in result.front:
+        impl = point.implementation
+        ecus_used = sorted(set(impl.binding.values()))
+        rows.append(
+            {
+                "latency": point.vector[0],
+                "cost": point.vector[1],
+                "ecus": len(ecus_used),
+                "binding": ", ".join(
+                    f"{t}:{r}" for t, r in sorted(impl.binding.items())
+                ),
+            }
+        )
+    print()
+    print(
+        render_table(
+            "Exact latency/cost front (serialized ECUs)",
+            ["latency", "cost", "ecus", "binding"],
+            rows,
+        )
+    )
+    stats = result.statistics
+    print(
+        f"\n{stats.models_enumerated} models, {stats.conflicts} conflicts, "
+        f"complete={not stats.interrupted}"
+    )
+    print(
+        "note: consolidating onto fewer ECUs lowers cost but serialization "
+        "stretches the latency — the front makes the trade-off explicit."
+    )
+
+
+if __name__ == "__main__":
+    main()

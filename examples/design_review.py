@@ -1,0 +1,88 @@
+"""A design-review session: constraints, what-ifs and model refinements.
+
+Walks through how an engineer would actually use the explorer on the
+curated JPEG-encoder instance:
+
+1. baseline exact front (latency / cost),
+2. tightened: a hard deadline on the final stage + link contention,
+3. what-if: pin the DCT to the DSP and see what the front costs,
+4. export the chosen design as Graphviz DOT.
+
+Run:  python examples/design_review.py
+"""
+
+from repro.bench.render import render_table
+from repro.dse.explorer import ExactParetoExplorer
+from repro.synthesis.encoding import encode
+from repro.synthesis.model import Application, Specification, Task
+from repro.synthesis.visualize import implementation_to_dot
+from repro.workloads.curated import curated
+
+
+def front_rows(result):
+    return [
+        dict(
+            zip(result.objectives, point.vector),
+            binding=", ".join(
+                f"{t}:{r}" for t, r in sorted(point.implementation.binding.items())
+            ),
+        )
+        for point in result.front
+    ]
+
+
+def explore(instance, **kwargs):
+    return ExactParetoExplorer(instance, conflict_limit=40_000, **kwargs).run()
+
+
+def main() -> None:
+    spec = curated("consumer_jpeg")
+    objectives = ("latency", "cost")
+    columns = ["latency", "cost", "binding"]
+
+    # 1. Baseline.
+    baseline = explore(encode(spec, objectives=objectives))
+    print(render_table("1. Baseline front", columns, front_rows(baseline)))
+
+    # 2. Refined model: the output stage must finish by 30 time units and
+    #    bus transmissions are serialized.
+    deadline_spec = Specification(
+        Application(
+            tuple(
+                Task(t.name, deadline=30) if t.name == "out" else t
+                for t in spec.application.tasks
+            ),
+            spec.application.messages,
+        ),
+        spec.architecture,
+        spec.mappings,
+    )
+    refined = explore(
+        encode(deadline_spec, objectives=objectives, link_contention=True)
+    )
+    print()
+    print(
+        render_table(
+            "2. With out-deadline 30 + bus contention", columns, front_rows(refined)
+        )
+    )
+    dropped = len(baseline.front) - len(refined.front)
+    print(f"   ({dropped} baseline design(s) no longer feasible/optimal)")
+
+    # 3. What-if: force the DCT onto the DSP.
+    pinned = explore(
+        encode(spec, objectives=objectives), fixed_bindings={"dct": "dsp"}
+    )
+    print()
+    print(render_table("3. What-if: dct pinned to dsp", columns, front_rows(pinned)))
+
+    # 4. Export the fastest refined design.
+    if refined.front:
+        chosen = refined.front[0].implementation
+        dot = implementation_to_dot(spec, chosen)
+        print(f"\n4. Fastest refined design as DOT ({len(dot.splitlines())} lines):")
+        print("\n".join(dot.splitlines()[:6]) + "\n   ...")
+
+
+if __name__ == "__main__":
+    main()

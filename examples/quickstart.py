@@ -1,0 +1,63 @@
+"""Quickstart: exact multi-objective DSE in a dozen lines.
+
+Builds a tiny specification (two communicating tasks, two heterogeneous
+resources), explores the complete design space, and prints the exact
+Pareto front with a witness implementation per point.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.dse.explorer import explore
+from repro.synthesis import (
+    Application,
+    Architecture,
+    Link,
+    MappingOption,
+    Message,
+    Resource,
+    Specification,
+    Task,
+)
+
+
+def build_specification() -> Specification:
+    application = Application(
+        tasks=(Task("producer"), Task("consumer")),
+        messages=(Message("data", "producer", "consumer", size=2),),
+    )
+    architecture = Architecture(
+        resources=(Resource("fast_core", cost=8), Resource("eco_core", cost=2)),
+        links=(
+            Link("f2e", "fast_core", "eco_core", delay=1, energy=1),
+            Link("e2f", "eco_core", "fast_core", delay=1, energy=1),
+        ),
+    )
+    mappings = (
+        MappingOption("producer", "fast_core", wcet=1, energy=6),
+        MappingOption("producer", "eco_core", wcet=4, energy=2),
+        MappingOption("consumer", "fast_core", wcet=2, energy=8),
+        MappingOption("consumer", "eco_core", wcet=5, energy=3),
+    )
+    return Specification(application, architecture, mappings)
+
+
+def main() -> None:
+    specification = build_specification()
+    result = explore(specification, objectives=("latency", "energy", "cost"))
+
+    print(f"objectives: {result.objectives}")
+    print(f"exact Pareto front ({len(result.front)} points):\n")
+    for point in result.front:
+        impl = point.implementation
+        binding = ", ".join(f"{t}->{r}" for t, r in sorted(impl.binding.items()))
+        print(f"  {point.vector}   binding: {binding}")
+    stats = result.statistics
+    print(
+        f"\nsearch effort: {stats.models_enumerated} models, "
+        f"{stats.conflicts} conflicts, "
+        f"{stats.pruned_partial} dominance prunings on partial assignments"
+    )
+
+
+if __name__ == "__main__":
+    main()

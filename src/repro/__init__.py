@@ -1,0 +1,78 @@
+"""repro — Exact multi-objective design space exploration using ASPmT.
+
+A from-scratch, pure-Python reproduction of
+
+    K. Neubauer, P. Wanko, T. Schaub, C. Haubelt:
+    "Exact multi-objective design space exploration using ASPmT",
+    DATE 2018, pp. 257-260.
+
+The package layers, bottom to top:
+
+* :mod:`repro.asp` — answer set programming substrate (parser, grounder,
+  Clark completion, CDNL solver, unfounded-set propagation, propagator
+  API — a clingo work-alike);
+* :mod:`repro.theory` — background theories: linear constraints over
+  integers with partial-assignment evaluation, difference logic,
+  objective functions;
+* :mod:`repro.synthesis` — system-level synthesis: specifications
+  (task graphs, NoC platforms, mapping options), the ASPmT encoding,
+  solution decoding and validation;
+* :mod:`repro.dse` — the paper's contribution: exact Pareto-front
+  enumeration with a dominance propagator over partial assignments,
+  plus list and quad-tree archives;
+* :mod:`repro.baselines` — exhaustive, solution-level, epsilon-constraint
+  and NSGA-II comparison methods;
+* :mod:`repro.workloads` — seeded synthetic benchmark instances;
+* :mod:`repro.bench` — the table/figure regeneration harness.
+
+Quick start::
+
+    from repro import explore, generate_specification, WorkloadConfig
+
+    spec = generate_specification(WorkloadConfig(tasks=6, seed=0))
+    result = explore(spec, objectives=("latency", "energy", "cost"))
+    for point in result.front:
+        print(point.vector, point.implementation.binding)
+"""
+
+from repro.dse.explorer import (
+    DseResult,
+    ExactParetoExplorer,
+    ParetoPoint,
+    explore,
+)
+from repro.synthesis.encoding import EncodedInstance, encode
+from repro.synthesis.model import (
+    Application,
+    Architecture,
+    Link,
+    MappingOption,
+    Message,
+    Resource,
+    Specification,
+    Task,
+)
+from repro.workloads import WorkloadConfig, generate_specification, suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Application",
+    "Architecture",
+    "DseResult",
+    "EncodedInstance",
+    "ExactParetoExplorer",
+    "Link",
+    "MappingOption",
+    "Message",
+    "ParetoPoint",
+    "Resource",
+    "Specification",
+    "Task",
+    "WorkloadConfig",
+    "encode",
+    "explore",
+    "generate_specification",
+    "suite",
+    "__version__",
+]

@@ -1,0 +1,122 @@
+"""CLI: a small clingo-like front-end for the ASP(mT) substrate.
+
+Usage::
+
+    python -m repro.asp program.lp [more.lp ...] [--models N]
+    echo "{a;b}. :- a, b." | python -m repro.asp - --models 0
+    python -m repro.asp sched.lp --theory          # enable &dom/&sum/&diff
+    python -m repro.asp weighted.lp --opt          # run #minimize
+
+Prints models clingo-style (``Answer: k`` lines) and a final
+SATISFIABLE / UNSATISFIABLE / OPTIMUM FOUND verdict.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.asp.control import Control
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.asp", description=__doc__)
+    parser.add_argument("files", nargs="+", help="program files ('-' for stdin)")
+    parser.add_argument(
+        "--models", "-n", type=int, default=1, help="models to enumerate (0 = all)"
+    )
+    parser.add_argument(
+        "--theory",
+        action="store_true",
+        help="register the linear + difference-logic theory propagators",
+    )
+    parser.add_argument(
+        "--opt", action="store_true", help="optimize #minimize statements"
+    )
+    parser.add_argument(
+        "--opt-strategy",
+        choices=("bb", "oll"),
+        default="bb",
+        help="optimization algorithm: branch-and-bound or core-guided",
+    )
+    parser.add_argument(
+        "--budget", type=int, default=None, help="conflict limit per solve"
+    )
+    parser.add_argument(
+        "--stats", action="store_true", help="print solver statistics"
+    )
+    parser.add_argument(
+        "--project",
+        action="store_true",
+        help="enumerate distinct #show projections only",
+    )
+    parser.add_argument(
+        "--const",
+        "-c",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="override a #const (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    control = Control()
+    control.conflict_limit = args.budget
+    for path in args.files:
+        text = sys.stdin.read() if path == "-" else open(path).read()
+        control.add(text)
+    # Overrides come last: for duplicate #const names the last wins.
+    for override in args.const:
+        name, _, value = override.partition("=")
+        if not name or not value:
+            parser.error(f"malformed --const {override!r}")
+        control.add(f"#const {name} = {value}.")
+    if args.theory:
+        from repro.theory import DifferenceLogicPropagator, LinearPropagator
+
+        control.register_propagator(LinearPropagator())
+        control.register_propagator(DifferenceLogicPropagator())
+    control.ground()
+
+    if args.opt:
+        result = control.optimize(strategy=args.opt_strategy)
+        if not result.satisfiable:
+            print("UNSATISFIABLE")
+            return 1
+        print(f"Answer: 1\n{result.model}")
+        print(f"Optimization: {' '.join(map(str, result.costs))}")
+        print("INTERRUPTED" if result.interrupted else "OPTIMUM FOUND")
+        return 0
+
+    count = 0
+
+    def on_model(model) -> None:
+        nonlocal count
+        count += 1
+        print(f"Answer: {count}")
+        print(model)
+        if model.theory.get("ints"):
+            values = " ".join(
+                f"{name}={value}"
+                for name, value in sorted(
+                    model.theory["ints"].items(), key=lambda kv: str(kv[0])
+                )
+            )
+            print(f"Theory: {values}")
+
+    summary = control.solve(
+        on_model=on_model, models=args.models, project=args.project
+    )
+    print("SATISFIABLE" if summary.satisfiable else "UNSATISFIABLE")
+    if args.stats:
+        stats = control.statistics
+        print(
+            f"Conflicts: {stats.conflicts}  Decisions: {stats.decisions}  "
+            f"Restarts: {stats.restarts}  Learned: {stats.learned}"
+        )
+    return 0 if summary.satisfiable else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,342 @@
+"""Non-ground program AST.
+
+The AST mirrors the fragment of the ASP-Core-2 / clingo input language that
+the synthesis encodings need:
+
+* normal rules, facts and integrity constraints,
+* choice rules with optional cardinality bounds,
+* ``#count``/``#sum`` body aggregates with guards,
+* arithmetic terms, intervals and comparison builtins,
+* theory atoms ``&name(args) { elements } op term`` in rule heads (used for
+  the linear/difference background theory).
+
+The AST is deliberately plain: immutable dataclasses without behaviour.
+Instantiation logic lives in :mod:`repro.asp.grounder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+from repro.asp.syntax import Symbol
+
+__all__ = [
+    "Variable",
+    "SymbolTerm",
+    "FunctionTerm",
+    "BinaryTerm",
+    "UnaryTerm",
+    "IntervalTerm",
+    "PoolTerm",
+    "Term",
+    "Comparison",
+    "Literal",
+    "AggregateElement",
+    "Aggregate",
+    "BodyItem",
+    "ChoiceElement",
+    "ChoiceHead",
+    "TheoryElement",
+    "TheoryAtom",
+    "Head",
+    "Rule",
+    "Program",
+    "COMPARISON_OPS",
+]
+
+# ---------------------------------------------------------------------------
+# Terms
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A first-order variable, e.g. ``X``.  ``_`` is an anonymous variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class SymbolTerm:
+    """A ground symbol embedded in a non-ground term."""
+
+    symbol: Symbol
+
+    def __str__(self) -> str:
+        return str(self.symbol)
+
+
+@dataclass(frozen=True)
+class FunctionTerm:
+    """A (possibly non-ground) function term ``name(t1, ..., tN)``."""
+
+    name: str
+    arguments: Tuple["Term", ...]
+
+    def __str__(self) -> str:
+        if not self.arguments:
+            return self.name
+        args = ",".join(str(a) for a in self.arguments)
+        return f"{self.name}({args})"
+
+
+@dataclass(frozen=True)
+class BinaryTerm:
+    """Arithmetic ``lhs op rhs`` with ``op`` in ``+ - * / \\ **``."""
+
+    op: str
+    lhs: "Term"
+    rhs: "Term"
+
+    def __str__(self) -> str:
+        return f"({self.lhs}{self.op}{self.rhs})"
+
+
+@dataclass(frozen=True)
+class UnaryTerm:
+    """Unary minus or absolute value."""
+
+    op: str
+    argument: "Term"
+
+    def __str__(self) -> str:
+        if self.op == "|":
+            return f"|{self.argument}|"
+        return f"({self.op}{self.argument})"
+
+
+@dataclass(frozen=True)
+class IntervalTerm:
+    """An integer interval ``lo..hi``."""
+
+    lower: "Term"
+    upper: "Term"
+
+    def __str__(self) -> str:
+        return f"({self.lower}..{self.upper})"
+
+
+@dataclass(frozen=True)
+class PoolTerm:
+    """An argument pool ``t1; t2; ...`` (expands like an interval)."""
+
+    options: Tuple["Term", ...]
+
+    def __str__(self) -> str:
+        return "(" + ";".join(str(o) for o in self.options) + ")"
+
+
+Term = Union[
+    Variable, SymbolTerm, FunctionTerm, BinaryTerm, UnaryTerm, IntervalTerm, PoolTerm
+]
+
+# ---------------------------------------------------------------------------
+# Literals
+# ---------------------------------------------------------------------------
+
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A builtin comparison ``lhs op rhs``."""
+
+    op: str
+    lhs: Term
+    rhs: Term
+
+    def __str__(self) -> str:
+        return f"{self.lhs}{self.op}{self.rhs}"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A (possibly negated) symbolic atom or comparison.
+
+    ``sign`` is the number of leading ``not`` — 0 for positive, 1 for
+    default negation.  Double negation is normalized away by the parser.
+    """
+
+    sign: int
+    atom: Union[FunctionTerm, Comparison]
+
+    def __str__(self) -> str:
+        prefix = "not " * self.sign
+        return prefix + str(self.atom)
+
+
+# ---------------------------------------------------------------------------
+# Aggregates
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AggregateElement:
+    """One element ``t1,...,tN : l1, ..., lM`` of an aggregate."""
+
+    terms: Tuple[Term, ...]
+    condition: Tuple[Literal, ...]
+
+    def __str__(self) -> str:
+        terms = ",".join(str(t) for t in self.terms)
+        if self.condition:
+            cond = ",".join(str(c) for c in self.condition)
+            return f"{terms}:{cond}"
+        return terms
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """A body aggregate ``lhs op #fun { elements } op rhs``.
+
+    ``function`` is ``"count"`` or ``"sum"``.  Guards are optional; each is
+    a ``(op, term)`` pair with the aggregate on the left-hand side, i.e.
+    ``lower_guard = (">=", 2)`` means the aggregate value is at least 2.
+    ``sign`` is 0 for a positive body occurrence, 1 under default negation.
+    """
+
+    sign: int
+    function: str
+    elements: Tuple[AggregateElement, ...]
+    left_guard: Optional[Tuple[str, Term]] = None
+    right_guard: Optional[Tuple[str, Term]] = None
+
+    def __str__(self) -> str:
+        elems = ";".join(str(e) for e in self.elements)
+        text = f"#{self.function}{{{elems}}}"
+        if self.left_guard is not None:
+            op, term = self.left_guard
+            inverted = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+            text = f"{term}{inverted[op]}{text}"
+        if self.right_guard is not None:
+            op, term = self.right_guard
+            text = f"{text}{op}{term}"
+        return ("not " * self.sign) + text
+
+
+BodyItem = Union[Literal, Aggregate]
+
+# ---------------------------------------------------------------------------
+# Heads
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChoiceElement:
+    """One element ``atom : condition`` of a choice head."""
+
+    atom: FunctionTerm
+    condition: Tuple[Literal, ...]
+
+    def __str__(self) -> str:
+        if self.condition:
+            cond = ",".join(str(c) for c in self.condition)
+            return f"{self.atom}:{cond}"
+        return str(self.atom)
+
+
+@dataclass(frozen=True)
+class ChoiceHead:
+    """A choice head ``lower { elements } upper`` (bounds optional)."""
+
+    elements: Tuple[ChoiceElement, ...]
+    lower: Optional[Term] = None
+    upper: Optional[Term] = None
+
+    def __str__(self) -> str:
+        elems = ";".join(str(e) for e in self.elements)
+        lower = f"{self.lower} " if self.lower is not None else ""
+        upper = f" {self.upper}" if self.upper is not None else ""
+        return f"{lower}{{{elems}}}{upper}"
+
+
+@dataclass(frozen=True)
+class TheoryElement:
+    """One element ``t1,...,tN : l1,...,lM`` of a theory atom."""
+
+    terms: Tuple[Term, ...]
+    condition: Tuple[Literal, ...]
+
+    def __str__(self) -> str:
+        terms = ",".join(str(t) for t in self.terms)
+        if self.condition:
+            cond = ",".join(str(c) for c in self.condition)
+            return f"{terms}:{cond}"
+        return terms
+
+
+@dataclass(frozen=True)
+class TheoryAtom:
+    """A theory atom ``&name(args) { elements } op term``.
+
+    The synthesis encodings use ``&diff { u - v } <= c`` and
+    ``&sum { c1*x1 ; ... } <= c`` in rule heads; the grounder instantiates
+    them and hands them to the registered theory via the propagator
+    interface.
+    """
+
+    name: str
+    arguments: Tuple[Term, ...]
+    elements: Tuple[TheoryElement, ...]
+    guard: Optional[Tuple[str, Term]] = None
+
+    def __str__(self) -> str:
+        args = ""
+        if self.arguments:
+            args = "(" + ",".join(str(a) for a in self.arguments) + ")"
+        elems = ";".join(str(e) for e in self.elements)
+        guard = ""
+        if self.guard is not None:
+            guard = f" {self.guard[0]} {self.guard[1]}"
+        return f"&{self.name}{args}{{{elems}}}{guard}"
+
+
+Head = Union[FunctionTerm, ChoiceHead, TheoryAtom, None]
+
+# ---------------------------------------------------------------------------
+# Rules and programs
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body.`` — ``head is None`` for integrity constraints."""
+
+    head: Head
+    body: Tuple[BodyItem, ...] = ()
+
+    def __str__(self) -> str:
+        if self.head is None:
+            if not self.body:
+                return ":- ."
+            return ":- " + ", ".join(str(b) for b in self.body) + "."
+        if not self.body:
+            return f"{self.head}."
+        body = ", ".join(str(b) for b in self.body)
+        return f"{self.head} :- {body}."
+
+
+@dataclass
+class Program:
+    """A parsed program: rules, ``#const`` definitions, ``#show`` filters.
+
+    ``shows`` is ``None`` when no ``#show`` statement occurred (show
+    everything); otherwise the set of ``(name, arity)`` signatures to
+    display (empty set for a bare ``#show.``).
+    """
+
+    rules: list = field(default_factory=list)
+    constants: dict = field(default_factory=dict)
+    shows: Optional[set] = None
+    #: Signatures declared ``#external`` (their atoms default to false
+    #: and are controlled via ``Control.assign_external``).
+    externals: set = field(default_factory=set)
+
+    def __str__(self) -> str:
+        lines = [f"#const {name}={value}." for name, value in self.constants.items()]
+        lines.extend(str(r) for r in self.rules)
+        return "\n".join(lines)

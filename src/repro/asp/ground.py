@@ -1,0 +1,108 @@
+"""Ground program representation and dependency analysis.
+
+Collects the grounder's output, assigns consecutive ids to atoms, and
+computes the *positive dependency graph* used both for tightness analysis
+and by the unfounded-set propagator: an edge ``head -> b`` exists when
+``b`` occurs positively in the body (or choice-element condition) of a
+rule with head ``head``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.asp.grounder import (
+    GroundAggregate,
+    GroundChoice,
+    GroundRule,
+    GroundTheoryAtom,
+)
+from repro.asp.syntax import Function
+
+__all__ = ["GroundProgram"]
+
+
+@dataclass
+class GroundProgram:
+    """The grounder's output plus the derived atom universe."""
+
+    rules: List[GroundRule]
+    possible: Set[Function]
+    facts: Set[Function]
+
+    def __post_init__(self) -> None:
+        self._positive_graph: Optional[nx.DiGraph] = None
+
+    # -- dependency analysis -------------------------------------------------
+
+    def positive_dependency_graph(self) -> nx.DiGraph:
+        """The positive atom dependency graph (facts excluded)."""
+        if self._positive_graph is not None:
+            return self._positive_graph
+        graph = nx.DiGraph()
+        for atom in sorted(self.possible):
+            if atom not in self.facts:
+                graph.add_node(atom)
+        for rule in self.rules:
+            heads = self._head_atoms(rule)
+            positives = [
+                atom for sign, atom in rule.body if sign == 0 and atom not in self.facts
+            ]
+            if isinstance(rule.head, GroundChoice):
+                for head, condition in rule.head.elements:
+                    extra = [
+                        atom
+                        for sign, atom in condition
+                        if sign == 0 and atom not in self.facts
+                    ]
+                    for body_atom in positives + extra:
+                        graph.add_edge(head, body_atom)
+            else:
+                for head in heads:
+                    for body_atom in positives:
+                        graph.add_edge(head, body_atom)
+        self._positive_graph = graph
+        return graph
+
+    @staticmethod
+    def _head_atoms(rule: GroundRule) -> List[Function]:
+        if isinstance(rule.head, Function):
+            return [rule.head]
+        if isinstance(rule.head, GroundChoice):
+            return [atom for atom, _cond in rule.head.elements]
+        return []
+
+    def nontrivial_sccs(self) -> List[FrozenSet[Function]]:
+        """SCCs of the positive dependency graph with a real cycle."""
+        graph = self.positive_dependency_graph()
+        result = []
+        for component in nx.strongly_connected_components(graph):
+            if len(component) > 1:
+                result.append(frozenset(component))
+            else:
+                (atom,) = component
+                if graph.has_edge(atom, atom):
+                    result.append(frozenset(component))
+        return result
+
+    @property
+    def is_tight(self) -> bool:
+        """True when the positive dependency graph is acyclic."""
+        return not self.nontrivial_sccs()
+
+    # -- misc ------------------------------------------------------------------
+
+    def theory_atoms(self) -> List[GroundTheoryAtom]:
+        out = []
+        seen = set()
+        for rule in self.rules:
+            if isinstance(rule.head, GroundTheoryAtom) and rule.head not in seen:
+                seen.add(rule.head)
+                out.append(rule.head)
+        return out
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)

@@ -1,0 +1,1091 @@
+"""Grounding: instantiation of non-ground rules.
+
+The grounder computes, per dependency component, a fixpoint over
+*possibly-true* atoms: starting from the facts, every rule is instantiated
+against the current set of possible atoms (matching positive body
+literals, evaluating builtins), and the head atoms of every instance are
+added to the set.  This over-approximates the atoms of any answer set, so
+solving on the resulting ground program is sound and complete.
+
+Instantiation is scheduled along the condensation of the rule/predicate
+dependency graph (as in gringo): a rule is grounded only after the
+components of the predicates it uses under negation, in aggregate
+elements, or in element conditions are *closed* (fully grounded).  This
+makes the following simplifications sound:
+
+* positive body literals over *facts* are dropped,
+* positive body literals over impossible atoms drop the whole instance,
+* negative body literals over closed impossible atoms are dropped,
+* negative body literals over facts drop the whole instance,
+* fully-determined comparisons are evaluated away.
+
+Negative literals over predicates of the *same* component (negative
+recursion, e.g. ``a :- not b.  b :- not a.``) are kept unsimplified; the
+translator resolves atoms that never became possible.  Aggregates and
+element conditions over predicates of the same component ("recursive
+aggregates") are rejected with :class:`GroundingError` — the synthesis
+encodings do not need them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.asp import ast
+from repro.asp.syntax import Function, Number, String, Symbol
+
+__all__ = [
+    "GroundingError",
+    "GroundAggregate",
+    "GroundAggregateElement",
+    "GroundChoice",
+    "GroundRule",
+    "GroundTheoryAtom",
+    "TheoryTermOp",
+    "Grounder",
+    "evaluate_term",
+    "evaluate_comparison",
+    "ground_program",
+]
+
+
+class GroundingError(Exception):
+    """Raised when a rule cannot be safely instantiated."""
+
+
+# ---------------------------------------------------------------------------
+# Ground representations
+# ---------------------------------------------------------------------------
+
+#: A ground literal: (sign, atom symbol); sign 0 positive, 1 negative.
+GroundLiteral = Tuple[int, Function]
+
+
+@dataclass(frozen=True)
+class GroundAggregateElement:
+    """A ground aggregate element: a term tuple plus condition instances.
+
+    ASP-Core-2 aggregates have *set* semantics over term tuples: a tuple
+    contributes (once) if any of its condition instances holds, so all
+    instances sharing a tuple are grouped here.
+    """
+
+    terms: Tuple[Symbol, ...]
+    conditions: Tuple[Tuple[GroundLiteral, ...], ...]
+
+    @property
+    def weight(self) -> int:
+        """The #sum weight: the first term, which must be a number."""
+        if not self.terms or not isinstance(self.terms[0], Number):
+            raise GroundingError(
+                f"#sum element {self.terms} does not start with an integer weight"
+            )
+        return self.terms[0].value
+
+
+@dataclass(frozen=True)
+class GroundAggregate:
+    """A ground body aggregate with ``(op, bound)`` guards (aggregate on LHS)."""
+
+    sign: int
+    function: str  # "count" or "sum"
+    elements: Tuple[GroundAggregateElement, ...]
+    left_guard: Optional[Tuple[str, int]]
+    right_guard: Optional[Tuple[str, int]]
+
+
+@dataclass(frozen=True)
+class TheoryTermOp:
+    """A ground theory term with structure, e.g. ``start(t2) - start(t1)``.
+
+    Leaves are plain symbols; arithmetic between numbers is folded during
+    grounding, everything else is kept symbolic for the theory to
+    interpret.
+    """
+
+    op: str
+    arguments: Tuple["GroundTheoryTerm", ...]
+
+    def __str__(self) -> str:
+        if len(self.arguments) == 1:
+            return f"({self.op}{self.arguments[0]})"
+        return "(" + f"{self.op}".join(str(a) for a in self.arguments) + ")"
+
+
+GroundTheoryTerm = object  # Union[Symbol, TheoryTermOp]
+
+
+@dataclass(frozen=True)
+class GroundTheoryAtom:
+    """A ground theory atom handed to the background theory."""
+
+    name: str
+    arguments: Tuple[Symbol, ...]
+    elements: Tuple[Tuple[Tuple[GroundTheoryTerm, ...], Tuple[GroundLiteral, ...]], ...]
+    guard: Optional[Tuple[str, Symbol]]
+
+    def __str__(self) -> str:
+        args = ""
+        if self.arguments:
+            args = "(" + ",".join(str(a) for a in self.arguments) + ")"
+        elems = []
+        for terms, condition in self.elements:
+            text = ",".join(str(t) for t in terms)
+            if condition:
+                text += " : " + ",".join(
+                    ("not " if sign else "") + str(atom) for sign, atom in condition
+                )
+            elems.append(text)
+        guard = f" {self.guard[0]} {self.guard[1]}" if self.guard else ""
+        return f"&{self.name}{args}{{{';'.join(elems)}}}{guard}"
+
+
+@dataclass(frozen=True)
+class GroundChoice:
+    """A ground choice head: elements are (atom, condition) pairs."""
+
+    elements: Tuple[Tuple[Function, Tuple[GroundLiteral, ...]], ...]
+    lower: Optional[int]
+    upper: Optional[int]
+
+
+@dataclass(frozen=True)
+class GroundRule:
+    """A ground rule.
+
+    ``head`` is a :class:`Function` atom, a :class:`GroundChoice`, a
+    :class:`GroundTheoryAtom`, or ``None`` for an integrity constraint.
+    ``body`` holds ground symbolic literals; ``aggregates`` holds ground
+    body aggregates.
+    """
+
+    head: object
+    body: Tuple[GroundLiteral, ...]
+    aggregates: Tuple[GroundAggregate, ...] = ()
+
+    def __str__(self) -> str:
+        parts = [("not " if sign else "") + str(atom) for sign, atom in self.body]
+        parts.extend(str(a) for a in self.aggregates)
+        body = ", ".join(parts)
+        if isinstance(self.head, GroundChoice):
+            elems = ";".join(str(atom) for atom, _cond in self.head.elements)
+            lower = f"{self.head.lower} " if self.head.lower is not None else ""
+            upper = f" {self.head.upper}" if self.head.upper is not None else ""
+            head = f"{lower}{{{elems}}}{upper}"
+        elif self.head is None:
+            head = ""
+        else:
+            head = str(self.head)
+        if not body:
+            return f"{head}."
+        return f"{head} :- {body}."
+
+
+# ---------------------------------------------------------------------------
+# Term evaluation and matching
+# ---------------------------------------------------------------------------
+
+
+def evaluate_term(term: ast.Term, subst: Dict[str, Symbol]) -> Optional[Symbol]:
+    """Evaluate ``term`` under ``subst`` to a single ground symbol.
+
+    Returns ``None`` when the term contains unbound variables, an interval,
+    or ill-typed arithmetic.
+    """
+    if isinstance(term, ast.SymbolTerm):
+        return term.symbol
+    if isinstance(term, ast.Variable):
+        return subst.get(term.name)
+    if isinstance(term, ast.FunctionTerm):
+        args = []
+        for argument in term.arguments:
+            value = evaluate_term(argument, subst)
+            if value is None:
+                return None
+            args.append(value)
+        return Function(term.name, args)
+    if isinstance(term, ast.BinaryTerm):
+        lhs = evaluate_term(term.lhs, subst)
+        rhs = evaluate_term(term.rhs, subst)
+        if not isinstance(lhs, Number) or not isinstance(rhs, Number):
+            return None
+        try:
+            if term.op == "+":
+                return Number(lhs.value + rhs.value)
+            if term.op == "-":
+                return Number(lhs.value - rhs.value)
+            if term.op == "*":
+                return Number(lhs.value * rhs.value)
+            if term.op == "/":
+                return Number(_int_div(lhs.value, rhs.value))
+            if term.op == "\\":
+                return Number(_int_mod(lhs.value, rhs.value))
+            if term.op == "**":
+                return Number(lhs.value**rhs.value)
+        except (ZeroDivisionError, ValueError):
+            return None
+        raise GroundingError(f"unknown arithmetic operator {term.op!r}")
+    if isinstance(term, ast.UnaryTerm):
+        inner = evaluate_term(term.argument, subst)
+        if not isinstance(inner, Number):
+            return None
+        if term.op == "-":
+            return Number(-inner.value)
+        if term.op == "|":
+            return Number(abs(inner.value))
+        raise GroundingError(f"unknown unary operator {term.op!r}")
+    if isinstance(term, (ast.IntervalTerm, ast.PoolTerm)):
+        return None
+    raise GroundingError(f"cannot evaluate term {term}")
+
+
+def _int_div(a: int, b: int) -> int:
+    """Truncated integer division (gringo semantics)."""
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _int_mod(a: int, b: int) -> int:
+    return a - b * _int_div(a, b)
+
+
+def evaluate_term_all(term: ast.Term, subst: Dict[str, Symbol]) -> List[Symbol]:
+    """Evaluate a term that may contain intervals/pools, yielding every
+    instance."""
+    if isinstance(term, ast.PoolTerm):
+        out: List[Symbol] = []
+        for option in term.options:
+            out.extend(evaluate_term_all(option, subst))
+        return out
+    if isinstance(term, ast.IntervalTerm):
+        lower = evaluate_term(term.lower, subst)
+        upper = evaluate_term(term.upper, subst)
+        if not isinstance(lower, Number) or not isinstance(upper, Number):
+            return []
+        return [Number(v) for v in range(lower.value, upper.value + 1)]
+    if isinstance(term, ast.FunctionTerm):
+        choices = [evaluate_term_all(a, subst) for a in term.arguments]
+        if any(not c for c in choices):
+            return []
+        return [Function(term.name, combo) for combo in itertools.product(*choices)]
+    value = evaluate_term(term, subst)
+    return [value] if value is not None else []
+
+
+def evaluate_comparison(op: str, lhs: Symbol, rhs: Symbol) -> bool:
+    """Evaluate a ground comparison under the total symbol order."""
+    if op == "=":
+        return lhs == rhs
+    if op == "!=":
+        return lhs != rhs
+    if op == "<":
+        return lhs < rhs
+    if op == "<=":
+        return lhs <= rhs
+    if op == ">":
+        return lhs > rhs
+    if op == ">=":
+        return lhs >= rhs
+    raise GroundingError(f"unknown comparison operator {op!r}")
+
+
+def _match(term: ast.Term, symbol: Symbol, subst: Dict[str, Symbol]) -> bool:
+    """Match ``term`` against ground ``symbol``, extending ``subst``.
+
+    Arithmetic subterms must be evaluable from already-bound variables (we
+    never invert arithmetic, mirroring gringo's safety requirements).
+    """
+    if isinstance(term, ast.Variable):
+        bound = subst.get(term.name)
+        if bound is None:
+            subst[term.name] = symbol
+            return True
+        return bound == symbol
+    if isinstance(term, ast.SymbolTerm):
+        return term.symbol == symbol
+    if isinstance(term, ast.FunctionTerm):
+        if (
+            not isinstance(symbol, Function)
+            or symbol.name != term.name
+            or len(symbol.arguments) != len(term.arguments)
+        ):
+            return False
+        for sub_term, sub_symbol in zip(term.arguments, symbol.arguments):
+            if not _match(sub_term, sub_symbol, subst):
+                return False
+        return True
+    if isinstance(term, ast.PoolTerm):
+        raise GroundingError(
+            "argument pools are only supported in rule heads and facts"
+        )
+    # Arithmetic / interval: evaluate and compare.
+    value = evaluate_term(term, subst)
+    return value is not None and value == symbol
+
+
+def _term_variables(term: ast.Term, out: Set[str]) -> None:
+    if isinstance(term, ast.Variable):
+        out.add(term.name)
+    elif isinstance(term, ast.FunctionTerm):
+        for argument in term.arguments:
+            _term_variables(argument, out)
+    elif isinstance(term, ast.BinaryTerm):
+        _term_variables(term.lhs, out)
+        _term_variables(term.rhs, out)
+    elif isinstance(term, ast.UnaryTerm):
+        _term_variables(term.argument, out)
+    elif isinstance(term, ast.IntervalTerm):
+        _term_variables(term.lower, out)
+        _term_variables(term.upper, out)
+    elif isinstance(term, ast.PoolTerm):
+        for option in term.options:
+            _term_variables(option, out)
+
+
+def _complex_variables(term: ast.Term, out: Set[str]) -> None:
+    """Variables occurring under arithmetic/interval operators (which can
+    only be evaluated, never inverted, during matching)."""
+    if isinstance(term, ast.FunctionTerm):
+        for argument in term.arguments:
+            _complex_variables(argument, out)
+    elif isinstance(term, (ast.BinaryTerm, ast.UnaryTerm, ast.IntervalTerm, ast.PoolTerm)):
+        _term_variables(term, out)
+
+
+def literal_variables(literal: ast.Literal) -> Set[str]:
+    """The set of variable names occurring in ``literal``."""
+    out: Set[str] = set()
+    if isinstance(literal.atom, ast.Comparison):
+        _term_variables(literal.atom.lhs, out)
+        _term_variables(literal.atom.rhs, out)
+    else:
+        _term_variables(literal.atom, out)
+    return out
+
+
+def ground_theory_term(term: ast.Term, subst: Dict[str, Symbol]) -> GroundTheoryTerm:
+    """Ground a theory-element term, folding numeric arithmetic.
+
+    Non-numeric structure (e.g. ``start(t1) - start(t2)`` or
+    ``3 * use(m, l)``) is preserved as :class:`TheoryTermOp` for the
+    background theory to interpret.
+    """
+    if isinstance(term, ast.IntervalTerm):
+        return TheoryTermOp(
+            "..",
+            (
+                ground_theory_term(term.lower, subst),
+                ground_theory_term(term.upper, subst),
+            ),
+        )
+    if isinstance(term, (ast.BinaryTerm, ast.UnaryTerm)):
+        value = evaluate_term(term, subst)
+        if value is not None:
+            return value
+        if isinstance(term, ast.BinaryTerm):
+            return TheoryTermOp(
+                term.op,
+                (
+                    ground_theory_term(term.lhs, subst),
+                    ground_theory_term(term.rhs, subst),
+                ),
+            )
+        return TheoryTermOp(term.op, (ground_theory_term(term.argument, subst),))
+    value = evaluate_term(term, subst)
+    if value is None:
+        raise GroundingError(f"theory term {term} is not ground under {subst}")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Dependency analysis
+# ---------------------------------------------------------------------------
+
+Signature = Tuple[str, int]
+
+
+def _literal_signature(literal: ast.Literal) -> Optional[Signature]:
+    if isinstance(literal.atom, ast.FunctionTerm):
+        return (literal.atom.name, len(literal.atom.arguments))
+    return None
+
+
+def _rule_occurrences(rule: ast.Rule):
+    """Yield ``(signature, needs_closed)`` for every predicate the rule uses."""
+    for item in rule.body:
+        if isinstance(item, ast.Literal):
+            sig = _literal_signature(item)
+            if sig is not None:
+                yield sig, item.sign == 1
+        else:  # aggregate
+            for element in item.elements:
+                for condition in element.condition:
+                    sig = _literal_signature(condition)
+                    if sig is not None:
+                        yield sig, True
+    head = rule.head
+    if isinstance(head, ast.ChoiceHead):
+        for element in head.elements:
+            for condition in element.condition:
+                sig = _literal_signature(condition)
+                if sig is not None:
+                    yield sig, True
+    elif isinstance(head, ast.TheoryAtom):
+        for element in head.elements:
+            for condition in element.condition:
+                sig = _literal_signature(condition)
+                if sig is not None:
+                    yield sig, True
+
+
+def _rule_head_signatures(rule: ast.Rule) -> List[Signature]:
+    head = rule.head
+    if isinstance(head, ast.FunctionTerm):
+        return [(head.name, len(head.arguments))]
+    if isinstance(head, ast.ChoiceHead):
+        return [
+            (element.atom.name, len(element.atom.arguments)) for element in head.elements
+        ]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# The grounder
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _AtomIndex:
+    """Possible/fact atom bookkeeping with a per-signature index."""
+
+    by_signature: Dict[Signature, List[Function]] = field(default_factory=dict)
+    possible: Set[Function] = field(default_factory=set)
+    facts: Set[Function] = field(default_factory=set)
+
+    def add_possible(self, atom: Function) -> bool:
+        if atom in self.possible:
+            return False
+        self.possible.add(atom)
+        self.by_signature.setdefault(atom.signature, []).append(atom)
+        return True
+
+    def add_fact(self, atom: Function) -> bool:
+        self.add_possible(atom)
+        if atom in self.facts:
+            return False
+        self.facts.add(atom)
+        return True
+
+    def candidates(self, name: str, arity: int) -> Sequence[Function]:
+        return self.by_signature.get((name, arity), ())
+
+
+class Grounder:
+    """Instantiates a non-ground program into :class:`GroundRule` objects."""
+
+    def __init__(self, program: ast.Program):
+        self._rules = [
+            self._substitute_constants(rule, program.constants) for rule in program.rules
+        ]
+        self._index = _AtomIndex()
+        self._emitted: Set[object] = set()
+        self._output: List[GroundRule] = []
+        self._closed: Set[Signature] = set()
+        self._open: Set[Signature] = set()
+
+    # -- #const substitution --------------------------------------------------
+
+    @staticmethod
+    def _substitute_constants(rule: ast.Rule, constants: Dict[str, ast.Term]) -> ast.Rule:
+        if not constants:
+            return rule
+
+        def sub_term(term: ast.Term) -> ast.Term:
+            if isinstance(term, ast.FunctionTerm):
+                if not term.arguments and term.name in constants:
+                    return constants[term.name]
+                return ast.FunctionTerm(
+                    term.name, tuple(sub_term(a) for a in term.arguments)
+                )
+            if isinstance(term, ast.BinaryTerm):
+                return ast.BinaryTerm(term.op, sub_term(term.lhs), sub_term(term.rhs))
+            if isinstance(term, ast.UnaryTerm):
+                return ast.UnaryTerm(term.op, sub_term(term.argument))
+            if isinstance(term, ast.IntervalTerm):
+                return ast.IntervalTerm(sub_term(term.lower), sub_term(term.upper))
+            if isinstance(term, ast.PoolTerm):
+                return ast.PoolTerm(tuple(sub_term(o) for o in term.options))
+            return term
+
+        def sub_atom(atom: ast.FunctionTerm) -> ast.FunctionTerm:
+            # Predicate names are never substituted, only arguments.
+            return ast.FunctionTerm(atom.name, tuple(sub_term(a) for a in atom.arguments))
+
+        def sub_literal(literal: ast.Literal) -> ast.Literal:
+            atom = literal.atom
+            if isinstance(atom, ast.Comparison):
+                return ast.Literal(
+                    literal.sign,
+                    ast.Comparison(atom.op, sub_term(atom.lhs), sub_term(atom.rhs)),
+                )
+            return ast.Literal(literal.sign, sub_atom(atom))
+
+        def sub_guard(guard):
+            if guard is None:
+                return None
+            return (guard[0], sub_term(guard[1]))
+
+        def sub_body_item(item: ast.BodyItem) -> ast.BodyItem:
+            if isinstance(item, ast.Literal):
+                return sub_literal(item)
+            return ast.Aggregate(
+                item.sign,
+                item.function,
+                tuple(
+                    ast.AggregateElement(
+                        tuple(sub_term(t) for t in e.terms),
+                        tuple(sub_literal(c) for c in e.condition),
+                    )
+                    for e in item.elements
+                ),
+                sub_guard(item.left_guard),
+                sub_guard(item.right_guard),
+            )
+
+        head = rule.head
+        if isinstance(head, ast.FunctionTerm):
+            head = sub_atom(head)
+        elif isinstance(head, ast.ChoiceHead):
+            head = ast.ChoiceHead(
+                tuple(
+                    ast.ChoiceElement(
+                        sub_atom(e.atom), tuple(sub_literal(c) for c in e.condition)
+                    )
+                    for e in head.elements
+                ),
+                sub_term(head.lower) if head.lower is not None else None,
+                sub_term(head.upper) if head.upper is not None else None,
+            )
+        elif isinstance(head, ast.TheoryAtom):
+            head = ast.TheoryAtom(
+                head.name,
+                tuple(sub_term(a) for a in head.arguments),
+                tuple(
+                    ast.TheoryElement(
+                        tuple(sub_term(t) for t in e.terms),
+                        tuple(sub_literal(c) for c in e.condition),
+                    )
+                    for e in head.elements
+                ),
+                sub_guard(head.guard),
+            )
+        return ast.Rule(head, tuple(sub_body_item(b) for b in rule.body))
+
+    # -- component scheduling ---------------------------------------------------
+
+    def _schedule(self) -> List[List[int]]:
+        """Group rule indices into batches following the dependency condensation.
+
+        The graph is bipartite: signature nodes and rule nodes.  A rule
+        node depends on every signature it reads; every signature a rule
+        defines depends on the rule node.  Batches are SCCs in topological
+        order; a rule in a batch may read its own batch's signatures only
+        through plain positive/negative literals (checked by the caller).
+        """
+        graph = nx.DiGraph()
+        for i, rule in enumerate(self._rules):
+            rule_node = ("rule", i)
+            graph.add_node(rule_node)
+            for sig, _needs_closed in _rule_occurrences(rule):
+                graph.add_edge(rule_node, ("sig", sig))
+            for sig in _rule_head_signatures(rule):
+                graph.add_edge(("sig", sig), rule_node)
+        condensation = nx.condensation(graph)
+        batches: List[List[int]] = []
+        members: Dict[int, List[int]] = {}
+        for node, component in condensation.graph["mapping"].items():
+            if node[0] == "rule":
+                members.setdefault(component, []).append(node[1])
+        self._component_sigs: Dict[int, Set[Signature]] = {}
+        for node, component in condensation.graph["mapping"].items():
+            if node[0] == "sig":
+                self._component_sigs.setdefault(component, set()).add(node[1])
+        # Topological order of the condensation puts *consumers* first
+        # (edges point rule -> used signature); reverse it so that a
+        # rule's dependencies are grounded before the rule itself.
+        order = list(reversed(list(nx.topological_sort(condensation))))
+        self._batch_order = order
+        for component in order:
+            batches.append(sorted(members.get(component, [])))
+        return batches
+
+    # -- fixpoint ---------------------------------------------------------------
+
+    def ground(self) -> List[GroundRule]:
+        """Run the component-wise grounding fixpoint; return the ground rules."""
+        batches = self._schedule()
+        all_sigs: Set[Signature] = set()
+        for component in self._batch_order:
+            all_sigs |= self._component_sigs.get(component, set())
+        for component, rule_indices in zip(self._batch_order, batches):
+            sigs = self._component_sigs.get(component, set())
+            self._open = set(sigs)
+            self._check_batch(rule_indices)
+            changed = True
+            while changed:
+                changed = False
+                for index in rule_indices:
+                    if self._ground_rule(self._rules[index]):
+                        changed = True
+            self._closed |= sigs
+            self._open = set()
+        return self._output
+
+    def _check_batch(self, rule_indices: List[int]) -> None:
+        """Reject recursion through aggregates or element conditions."""
+        for index in rule_indices:
+            rule = self._rules[index]
+            for sig, needs_closed in _rule_occurrences(rule):
+                if needs_closed and sig in self._open:
+                    # Plain negative body literals are tolerated (negative
+                    # recursion); conditions/aggregates are not.
+                    if self._is_condition_occurrence(rule, sig):
+                        raise GroundingError(
+                            f"predicate {sig[0]}/{sig[1]} is used in an aggregate or "
+                            f"element condition of a rule in its own dependency "
+                            f"component (recursive aggregates are not supported)"
+                        )
+
+    @staticmethod
+    def _is_condition_occurrence(rule: ast.Rule, sig: Signature) -> bool:
+        def in_conditions(conditions) -> bool:
+            return any(_literal_signature(c) == sig for c in conditions)
+
+        for item in rule.body:
+            if isinstance(item, ast.Aggregate):
+                if any(in_conditions(e.condition) for e in item.elements):
+                    return True
+        head = rule.head
+        if isinstance(head, ast.ChoiceHead):
+            if any(in_conditions(e.condition) for e in head.elements):
+                return True
+        if isinstance(head, ast.TheoryAtom):
+            if any(in_conditions(e.condition) for e in head.elements):
+                return True
+        return False
+
+    @property
+    def possible_atoms(self) -> Set[Function]:
+        return self._index.possible
+
+    @property
+    def fact_atoms(self) -> Set[Function]:
+        return self._index.facts
+
+    # -- rule instantiation -------------------------------------------------
+
+    @staticmethod
+    def _is_binder(item: ast.BodyItem) -> bool:
+        """``X = term`` / ``term = X`` positive equalities act as
+        generators during the join (gringo's assignment idiom, incl.
+        intervals: ``X = 1..n``)."""
+        return (
+            isinstance(item, ast.Literal)
+            and item.sign == 0
+            and isinstance(item.atom, ast.Comparison)
+            and item.atom.op == "="
+            and (
+                isinstance(item.atom.lhs, ast.Variable)
+                or isinstance(item.atom.rhs, ast.Variable)
+            )
+        )
+
+    def _ground_rule(self, rule: ast.Rule) -> bool:
+        positives: List[ast.Literal] = []
+        others: List[ast.BodyItem] = []
+        for item in rule.body:
+            if (
+                isinstance(item, ast.Literal)
+                and item.sign == 0
+                and isinstance(item.atom, ast.FunctionTerm)
+            ):
+                positives.append(item)
+            elif self._is_binder(item):
+                positives.append(item)
+            else:
+                others.append(item)
+
+        changed = False
+        for subst in self._join(positives, {}):
+            if self._emit_instance(rule, positives, others, subst):
+                changed = True
+        return changed
+
+    def _join(
+        self, positives: List[ast.Literal], subst: Dict[str, Symbol]
+    ) -> Iterator[Dict[str, Symbol]]:
+        """Backtracking join of positive body literals against possible atoms.
+
+        Literals are selected greedily by fewest unbound variables so that
+        arithmetic subterms are evaluable (safety-driven reordering).
+        """
+        if not positives:
+            yield dict(subst)
+            return
+        index = self._select_literal(positives, subst)
+        literal = positives[index]
+        remaining = positives[:index] + positives[index + 1 :]
+        atom = literal.atom
+        if isinstance(atom, ast.Comparison):
+            # Binder: enumerate the values of the ground side.
+            variable, source = self._binder_parts(atom, subst)
+            if variable is None:
+                # Both sides ground by now: an ordinary equality test.
+                lhs = evaluate_term(atom.lhs, subst)
+                rhs_values = evaluate_term_all(atom.rhs, subst)
+                if lhs is not None and lhs in rhs_values:
+                    yield from self._join(remaining, subst)
+                return
+            for value in evaluate_term_all(source, subst):
+                local = dict(subst)
+                if _match(variable, value, local):
+                    yield from self._join(remaining, local)
+            return
+        assert isinstance(atom, ast.FunctionTerm)
+        for candidate in list(self._index.candidates(atom.name, len(atom.arguments))):
+            local = dict(subst)
+            if _match(atom, candidate, local):
+                yield from self._join(remaining, local)
+
+    @staticmethod
+    def _binder_parts(comparison: ast.Comparison, subst: Dict[str, Symbol]):
+        """Split ``X = term`` into (variable side, value side); the
+        variable side is None when already bound."""
+        lhs, rhs = comparison.lhs, comparison.rhs
+        if isinstance(lhs, ast.Variable) and lhs.name not in subst:
+            return lhs, rhs
+        if isinstance(rhs, ast.Variable) and rhs.name not in subst:
+            return rhs, lhs
+        return None, None
+
+    def _select_literal(self, positives: List[ast.Literal], subst: Dict[str, Symbol]) -> int:
+        """Pick the next positive literal to match.
+
+        Literals whose arithmetic subterms are fully bound are preferred
+        (they can actually be matched), binders whose value side is bound
+        count as immediately evaluable; ties are broken by fewest unbound
+        variables.
+        """
+        best = 0
+        best_key = None
+        for i, literal in enumerate(positives):
+            atom = literal.atom
+            if isinstance(atom, ast.Comparison):
+                variable, source = self._binder_parts(atom, subst)
+                if variable is None:
+                    source_vars: Set[str] = set()
+                    _term_variables(atom.lhs, source_vars)
+                    _term_variables(atom.rhs, source_vars)
+                else:
+                    source_vars = set()
+                    _term_variables(source, source_vars)
+                blocked = len(source_vars - subst.keys())
+                unbound = len(literal_variables(literal) - subst.keys())
+            else:
+                complex_vars: Set[str] = set()
+                assert isinstance(atom, ast.FunctionTerm)
+                _complex_variables(atom, complex_vars)
+                blocked = len(complex_vars - subst.keys())
+                unbound = len(literal_variables(literal) - subst.keys())
+            key = (blocked, unbound)
+            if best_key is None or key < best_key:
+                best, best_key = i, key
+                if key == (0, 0):
+                    break
+        return best
+
+    def _emit_instance(
+        self,
+        rule: ast.Rule,
+        positives: List[ast.Literal],
+        others: List[ast.BodyItem],
+        subst: Dict[str, Symbol],
+    ) -> bool:
+        """Instantiate non-positive body parts and the head; emit the rule."""
+        body: List[GroundLiteral] = []
+        # Keep matched positive literals that are not (closed) facts
+        # (binder equalities are fully resolved by the join).
+        for literal in positives:
+            if isinstance(literal.atom, ast.Comparison):
+                continue
+            value = evaluate_term(literal.atom, subst)
+            assert isinstance(value, Function)
+            if value not in self._index.facts:
+                body.append((0, value))
+
+        aggregates: List[GroundAggregate] = []
+        for item in others:
+            if isinstance(item, ast.Literal):
+                status = self._ground_literal(item, subst, body)
+                if status is False:
+                    return False
+            else:
+                aggregate = self._ground_aggregate(item, subst)
+                if aggregate is False:
+                    return False
+                if aggregate is not None:
+                    aggregates.append(aggregate)
+
+        heads = self._ground_head(rule.head, subst)
+
+        changed = False
+        for head in heads:
+            key = (head, tuple(body), tuple(aggregates))
+            if key in self._emitted:
+                continue
+            self._emitted.add(key)
+            ground = GroundRule(head, tuple(body), tuple(aggregates))
+            self._output.append(ground)
+            changed = True
+            changed |= self._register_head(head, ground)
+        return changed
+
+    def _register_head(self, head: object, ground: GroundRule) -> bool:
+        changed = False
+        if isinstance(head, Function):
+            if not ground.body and not ground.aggregates:
+                changed |= self._index.add_fact(head)
+            else:
+                changed |= self._index.add_possible(head)
+        elif isinstance(head, GroundChoice):
+            for atom, _condition in head.elements:
+                changed |= self._index.add_possible(atom)
+        return changed
+
+    # -- body parts -----------------------------------------------------------
+
+    def _ground_literal(
+        self,
+        literal: ast.Literal,
+        subst: Dict[str, Symbol],
+        out: List[GroundLiteral],
+    ) -> bool:
+        """Ground one comparison or negative literal.
+
+        Returns ``False`` to drop the whole instance; appends to ``out``
+        when the literal must be kept.
+        """
+        atom = literal.atom
+        if isinstance(atom, ast.Comparison):
+            lhs = evaluate_term(atom.lhs, subst)
+            rhs = evaluate_term(atom.rhs, subst)
+            if lhs is None or rhs is None:
+                raise GroundingError(f"comparison {atom} not fully bound under {subst}")
+            holds = evaluate_comparison(atom.op, lhs, rhs)
+            if literal.sign == 1:
+                holds = not holds
+            return holds
+        value = evaluate_term(atom, subst)
+        if value is None:
+            raise GroundingError(f"unsafe literal {literal} under {subst}")
+        assert isinstance(value, Function)
+        if literal.sign == 1:
+            if value.signature in self._open:
+                # Same-component negation: keep unsimplified; the
+                # translator resolves never-possible atoms to false.
+                out.append((1, value))
+                return True
+            if value not in self._index.possible:
+                return True  # trivially true
+            if value in self._index.facts:
+                return False  # trivially false
+            out.append((1, value))
+            return True
+        # A positive literal can reach here only via element conditions.
+        if value in self._index.facts:
+            return True
+        if value not in self._index.possible:
+            return False
+        out.append((0, value))
+        return True
+
+    def _ground_condition(
+        self, condition: Sequence[ast.Literal], subst: Dict[str, Symbol]
+    ) -> Iterator[Tuple[Dict[str, Symbol], Tuple[GroundLiteral, ...]]]:
+        """Instantiate an element condition (choice/aggregate/theory).
+
+        Yields ``(extended_subst, kept_literals)`` per instance; condition
+        literals that are facts are simplified away.  Condition predicates
+        are guaranteed closed by :meth:`_check_batch`.
+        """
+        positives = [
+            c
+            for c in condition
+            if (c.sign == 0 and isinstance(c.atom, ast.FunctionTerm))
+            or self._is_binder(c)
+        ]
+        others = [c for c in condition if c not in positives]
+        for local in self._join(positives, subst):
+            kept: List[GroundLiteral] = []
+            ok = True
+            for c in positives:
+                if isinstance(c.atom, ast.Comparison):
+                    continue  # binder: resolved by the join
+                value = evaluate_term(c.atom, local)
+                assert isinstance(value, Function)
+                if value not in self._index.facts:
+                    kept.append((0, value))
+            for c in others:
+                if not self._ground_literal(c, local, kept):
+                    ok = False
+                    break
+            if ok:
+                yield local, tuple(kept)
+
+    def _ground_aggregate(self, aggregate: ast.Aggregate, subst: Dict[str, Symbol]):
+        """Ground a body aggregate.
+
+        Returns a :class:`GroundAggregate`, ``None`` when trivially true,
+        or ``False`` when trivially false.
+        """
+        groups: Dict[Tuple[Symbol, ...], List[Tuple[GroundLiteral, ...]]] = {}
+        order: List[Tuple[Symbol, ...]] = []
+        for element in aggregate.elements:
+            for local, kept in self._ground_condition(element.condition, subst):
+                terms = tuple(evaluate_term(t, local) for t in element.terms)
+                if any(t is None for t in terms):
+                    raise GroundingError(
+                        f"aggregate element terms {element.terms} not bound"
+                    )
+                if terms not in groups:
+                    groups[terms] = []
+                    order.append(terms)
+                groups[terms].append(kept)
+        elements = []
+        for terms in order:
+            conditions = groups[terms]
+            if any(not c for c in conditions):
+                conditions = [()]  # one condition is a fact: tuple always holds
+            elements.append(
+                GroundAggregateElement(terms, tuple(dict.fromkeys(conditions)))
+            )
+
+        def guard_value(guard) -> Optional[Tuple[str, int]]:
+            if guard is None:
+                return None
+            op, term = guard
+            value = evaluate_term(term, subst)
+            if not isinstance(value, Number):
+                raise GroundingError(f"aggregate guard {term} is not an integer")
+            return (op, value.value)
+
+        ground = GroundAggregate(
+            aggregate.sign,
+            aggregate.function,
+            tuple(elements),
+            guard_value(aggregate.left_guard),
+            guard_value(aggregate.right_guard),
+        )
+        return self._simplify_aggregate(ground)
+
+    @staticmethod
+    def _simplify_aggregate(aggregate: GroundAggregate):
+        """Evaluate an aggregate whose elements are all decided."""
+        if any(element.conditions != ((),) for element in aggregate.elements):
+            return aggregate
+        weights = [element.weight for element in aggregate.elements]
+        if aggregate.function == "count":
+            value: Optional[int] = len(weights)
+        elif aggregate.function == "sum":
+            value = sum(weights)
+        elif aggregate.function == "min":
+            value = min(weights) if weights else None  # empty: #sup
+        elif aggregate.function == "max":
+            value = max(weights) if weights else None  # empty: #inf
+        else:
+            raise GroundingError(f"unknown aggregate {aggregate.function!r}")
+        holds = True
+        for guard in (aggregate.left_guard, aggregate.right_guard):
+            if guard is None:
+                continue
+            if value is None:
+                # Empty #min (= #sup) exceeds every bound; empty #max
+                # (= #inf) undercuts every bound.
+                if aggregate.function == "min":
+                    holds = holds and guard[0] in (">", ">=", "!=")
+                else:
+                    holds = holds and guard[0] in ("<", "<=", "!=")
+            else:
+                holds = holds and evaluate_comparison(
+                    guard[0], Number(value), Number(guard[1])
+                )
+        if aggregate.sign == 1:
+            holds = not holds
+        return None if holds else False
+
+    # -- heads ------------------------------------------------------------------
+
+    def _ground_head(self, head: ast.Head, subst: Dict[str, Symbol]) -> List[object]:
+        """Instantiate the head; returns a list of ground heads."""
+        if head is None:
+            return [None]
+        if isinstance(head, ast.FunctionTerm):
+            atoms = evaluate_term_all(head, subst)
+            if not atoms:
+                raise GroundingError(f"head {head} not bound under {subst}")
+            for atom in atoms:
+                if not isinstance(atom, Function):
+                    raise GroundingError(f"head {atom} is not an atom")
+            return atoms
+        if isinstance(head, ast.ChoiceHead):
+            elements: List[Tuple[Function, Tuple[GroundLiteral, ...]]] = []
+            for element in head.elements:
+                for local, kept in self._ground_condition(element.condition, subst):
+                    for atom in evaluate_term_all(element.atom, local):
+                        if not isinstance(atom, Function):
+                            raise GroundingError(f"choice atom {atom} is not an atom")
+                        elements.append((atom, kept))
+            elements = list(dict.fromkeys(elements))
+
+            def bound(term: Optional[ast.Term]) -> Optional[int]:
+                if term is None:
+                    return None
+                value = evaluate_term(term, subst)
+                if not isinstance(value, Number):
+                    raise GroundingError(f"choice bound {term} is not an integer")
+                return value.value
+
+            return [GroundChoice(tuple(elements), bound(head.lower), bound(head.upper))]
+        if isinstance(head, ast.TheoryAtom):
+            arguments = tuple(evaluate_term(a, subst) for a in head.arguments)
+            if any(a is None for a in arguments):
+                raise GroundingError(f"theory atom arguments {head.arguments} not bound")
+            elements = []
+            for element in head.elements:
+                for local, kept in self._ground_condition(element.condition, subst):
+                    terms = tuple(ground_theory_term(t, local) for t in element.terms)
+                    elements.append((terms, kept))
+            guard = None
+            if head.guard is not None:
+                op, term = head.guard
+                value = evaluate_term(term, subst)
+                if value is None:
+                    raise GroundingError(f"theory guard {term} not bound")
+                guard = (op, value)
+            return [
+                GroundTheoryAtom(head.name, arguments, tuple(dict.fromkeys(elements)), guard)
+            ]
+        raise GroundingError(f"unsupported head {head!r}")
+
+
+def ground_program(
+    program: ast.Program,
+) -> Tuple[List[GroundRule], Set[Function], Set[Function]]:
+    """Ground ``program``; returns (rules, possible atoms, fact atoms)."""
+    grounder = Grounder(program)
+    rules = grounder.ground()
+    return rules, grounder.possible_atoms, grounder.fact_atoms

@@ -1,0 +1,187 @@
+"""Brute-force answer-set enumeration (test oracle).
+
+Enumerates every subset of the possible atoms and keeps those that are
+answer sets.  Exponential — only usable on tiny programs — but written
+directly from the semantics, with no code shared with the CDNL stack, so
+it serves as an independent oracle for property-based tests.
+
+Supported fragment: normal rules, choice rules with bounds, integrity
+constraints, and non-recursive ``#count``/``#sum`` body aggregates (the
+same fragment the grounder accepts).  Theory atoms are not supported.
+
+Semantics: ``M`` is an answer set iff
+
+* every rule is *satisfied* by ``M`` (classical reading, with choice
+  bounds checked when the body holds), and
+* ``M`` equals its *derivation closure*: the least set ``D`` such that a
+  normal rule with positive body atoms in ``D`` and negative
+  literals/aggregates satisfied w.r.t. ``M`` adds its head, and a choice
+  element whose atom is in ``M`` and whose body/condition is derivable
+  adds its atom.
+
+For the supported (aggregate-stratified) fragment this coincides with the
+FLP answer sets computed by clingo.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.asp import ast
+from repro.asp.grounder import (
+    GroundAggregate,
+    GroundChoice,
+    GroundRule,
+    GroundTheoryAtom,
+    Grounder,
+    evaluate_comparison,
+)
+from repro.asp.parser import parse_program
+from repro.asp.syntax import Function, Number
+
+__all__ = ["naive_answer_sets", "is_answer_set"]
+
+
+def _literal_holds(sign: int, atom: Function, model: Set[Function]) -> bool:
+    return (atom in model) != bool(sign)
+
+
+def _aggregate_value(aggregate: GroundAggregate, model: Set[Function]):
+    """Aggregate value under ``model`` (None = empty #min/#max)."""
+    weights = []
+    for element in aggregate.elements:
+        holds = any(
+            all(_literal_holds(sign, atom, model) for sign, atom in condition)
+            for condition in element.conditions
+        )
+        if holds:
+            weights.append(1 if aggregate.function == "count" else element.weight)
+    if aggregate.function == "count" or aggregate.function == "sum":
+        return sum(weights)
+    if aggregate.function == "min":
+        return min(weights) if weights else None
+    if aggregate.function == "max":
+        return max(weights) if weights else None
+    raise NotImplementedError(aggregate.function)
+
+
+def _aggregate_holds(aggregate: GroundAggregate, model: Set[Function]) -> bool:
+    value = _aggregate_value(aggregate, model)
+    holds = True
+    for guard in (aggregate.left_guard, aggregate.right_guard):
+        if guard is None:
+            continue
+        if value is None:
+            # Empty #min is #sup, empty #max is #inf.
+            if aggregate.function == "min":
+                holds = holds and guard[0] in (">", ">=", "!=")
+            else:
+                holds = holds and guard[0] in ("<", "<=", "!=")
+        else:
+            holds = holds and evaluate_comparison(
+                guard[0], Number(value), Number(guard[1])
+            )
+    return holds != bool(aggregate.sign)
+
+
+def _body_holds(rule: GroundRule, model: Set[Function]) -> bool:
+    return all(
+        _literal_holds(sign, atom, model) for sign, atom in rule.body
+    ) and all(_aggregate_holds(a, model) for a in rule.aggregates)
+
+
+def _rule_satisfied(rule: GroundRule, model: Set[Function]) -> bool:
+    if not _body_holds(rule, model):
+        return True
+    head = rule.head
+    if head is None:
+        return False
+    if isinstance(head, Function):
+        return head in model
+    if isinstance(head, GroundChoice):
+        count = sum(
+            1
+            for atom, condition in head.elements
+            if atom in model
+            and all(_literal_holds(sign, a, model) for sign, a in condition)
+        )
+        if head.lower is not None and count < head.lower:
+            return False
+        if head.upper is not None and count > head.upper:
+            return False
+        return True
+    if isinstance(head, GroundTheoryAtom):
+        # Theory atoms (incl. desugared #minimize) do not constrain the
+        # Boolean answer sets.
+        return True
+    raise NotImplementedError(f"naive oracle cannot handle head {head!r}")
+
+
+def _closure(rules: Sequence[GroundRule], model: Set[Function]) -> Set[Function]:
+    derived: Set[Function] = set()
+    changed = True
+    while changed:
+        changed = False
+        for rule in rules:
+            head = rule.head
+            if head is None or isinstance(head, GroundTheoryAtom):
+                continue
+            body_ok = all(
+                (atom in derived) if sign == 0 else (atom not in model)
+                for sign, atom in rule.body
+            ) and all(_aggregate_holds(a, model) for a in rule.aggregates)
+            if not body_ok:
+                continue
+            if isinstance(head, Function):
+                if head not in derived:
+                    derived.add(head)
+                    changed = True
+            else:
+                for atom, condition in head.elements:
+                    if atom in model and atom not in derived:
+                        cond_ok = all(
+                            (c in derived) if sign == 0 else (c not in model)
+                            for sign, c in condition
+                        )
+                        if cond_ok:
+                            derived.add(atom)
+                            changed = True
+    return derived
+
+
+def is_answer_set(rules: Sequence[GroundRule], model: Set[Function]) -> bool:
+    """Check the stable-model condition for ``model``."""
+    if not all(_rule_satisfied(rule, model) for rule in rules):
+        return False
+    return _closure(rules, model) == model
+
+
+def naive_answer_sets(text: str, limit: int = 1 << 20) -> List[FrozenSet[Function]]:
+    """All answer sets of ``text``, as frozensets of atoms, sorted.
+
+    Raises :class:`ValueError` when the candidate space exceeds ``limit``.
+    """
+    program = parse_program(text)
+    grounder = Grounder(program)
+    rules = grounder.ground()
+    if any(
+        isinstance(rule.head, GroundTheoryAtom)
+        and rule.head.name != "__minimize"
+        for rule in rules
+    ):
+        raise NotImplementedError("naive oracle does not support theory atoms")
+    facts = sorted(grounder.fact_atoms)
+    candidates = sorted(grounder.possible_atoms - grounder.fact_atoms)
+    if 2 ** len(candidates) > limit:
+        raise ValueError(
+            f"{len(candidates)} candidate atoms exceed the enumeration limit"
+        )
+    answer_sets: List[FrozenSet[Function]] = []
+    for mask in itertools.product((False, True), repeat=len(candidates)):
+        model = set(facts)
+        model.update(atom for atom, bit in zip(candidates, mask) if bit)
+        if is_answer_set(rules, model):
+            answer_sets.append(frozenset(model))
+    answer_sets.sort(key=lambda s: sorted(s))
+    return answer_sets

@@ -1,0 +1,163 @@
+"""Ground symbols.
+
+Symbols are the values manipulated by ground answer set programs: numbers,
+strings, and function terms (constants are zero-arity functions).  They are
+immutable, hashable, and totally ordered so they can be used as dictionary
+keys and sorted deterministically when printing models.
+
+The ordering follows the convention used by clingo: numbers sort before
+strings, strings before functions; functions compare by arity, then name,
+then arguments.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterable, Tuple, Union
+
+__all__ = ["Symbol", "Number", "String", "Function", "parse_term"]
+
+
+@total_ordering
+class Number:
+    """An integer symbol."""
+
+    __slots__ = ("value", "_hash")
+
+    #: Rank used for cross-type comparisons (numbers < strings < functions).
+    order = 0
+
+    def __init__(self, value: int):
+        if not isinstance(value, int):
+            raise TypeError(f"Number value must be int, got {type(value).__name__}")
+        self.value = value
+        self._hash = hash(("Number", value))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Number) and self.value == other.value
+
+    def __lt__(self, other: "Symbol") -> bool:
+        if isinstance(other, Number):
+            return self.value < other.value
+        return self.order < other.order
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Number({self.value})"
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@total_ordering
+class String:
+    """A quoted string symbol."""
+
+    __slots__ = ("value", "_hash")
+
+    order = 1
+
+    def __init__(self, value: str):
+        if not isinstance(value, str):
+            raise TypeError(f"String value must be str, got {type(value).__name__}")
+        self.value = value
+        self._hash = hash(("String", value))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, String) and self.value == other.value
+
+    def __lt__(self, other: "Symbol") -> bool:
+        if isinstance(other, String):
+            return self.value < other.value
+        return self.order < other.order
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"String({self.value!r})"
+
+    def __str__(self) -> str:
+        return '"' + self.value.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+@total_ordering
+class Function:
+    """A function symbol ``name(arg1, ..., argN)``.
+
+    A constant is a zero-arity function; a tuple is a function with the
+    empty name.  ``positive=False`` represents a classically negated atom
+    ``-name(...)``.
+    """
+
+    __slots__ = ("name", "arguments", "positive", "_hash")
+
+    order = 2
+
+    def __init__(
+        self,
+        name: str,
+        arguments: Iterable["Symbol"] = (),
+        positive: bool = True,
+    ):
+        self.name = name
+        self.arguments: Tuple[Symbol, ...] = tuple(arguments)
+        self.positive = positive
+        self._hash = hash(("Function", name, self.arguments, positive))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Function)
+            and self.name == other.name
+            and self.positive == other.positive
+            and self.arguments == other.arguments
+        )
+
+    def __lt__(self, other: "Symbol") -> bool:
+        if isinstance(other, Function):
+            key_self = (len(self.arguments), self.name, self.arguments, self.positive)
+            key_other = (
+                len(other.arguments),
+                other.name,
+                other.arguments,
+                other.positive,
+            )
+            return key_self < key_other
+        return self.order < other.order
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    @property
+    def signature(self) -> Tuple[str, int]:
+        """``(name, arity)`` pair identifying the predicate."""
+        return (self.name, len(self.arguments))
+
+    def __repr__(self) -> str:
+        return f"Function({self.name!r}, {list(self.arguments)!r})"
+
+    def __str__(self) -> str:
+        sign = "" if self.positive else "-"
+        if not self.arguments:
+            return sign + (self.name if self.name else "()")
+        args = ",".join(str(a) for a in self.arguments)
+        if not self.name and len(self.arguments) == 1:
+            # One-element tuples keep a trailing comma, as in clingo.
+            return f"{sign}({args},)"
+        return f"{sign}{self.name}({args})"
+
+
+Symbol = Union[Number, String, Function]
+
+
+def parse_term(text: str) -> Symbol:
+    """Parse a single ground term from ``text``.
+
+    Convenience wrapper used pervasively in tests; delegates to the full
+    parser.
+    """
+    from repro.asp.parser import parse_ground_term
+
+    return parse_ground_term(text)

@@ -1,0 +1,28 @@
+"""Baselines the paper's approach is compared against.
+
+* :mod:`repro.baselines.exhaustive` — enumerate *every* implementation
+  and filter the non-dominated ones (ground truth on small instances),
+  plus the "solution-level evaluation only" ASPmT variant (dominance
+  checked on total assignments, no partial-assignment pruning).
+* :mod:`repro.baselines.epsilon` — the classic exact alternative:
+  repeated single-objective branch-and-bound under epsilon-constraints
+  (Klein–Hannan splitting), each solve using the
+  :class:`repro.dse.explorer.ObjectiveBoundPropagator`.
+* :mod:`repro.baselines.nsga2` — a self-contained NSGA-II heuristic over
+  bindings with shortest-path routing (the inexact comparison point of
+  Fig. 1).
+"""
+
+from repro.baselines.epsilon import BranchAndBoundMinimizer, epsilon_constraint_front
+from repro.baselines.exhaustive import exhaustive_front, solution_level_front
+from repro.baselines.nsga2 import nsga2_front
+from repro.baselines.result import BaselineResult
+
+__all__ = [
+    "BaselineResult",
+    "BranchAndBoundMinimizer",
+    "epsilon_constraint_front",
+    "exhaustive_front",
+    "nsga2_front",
+    "solution_level_front",
+]

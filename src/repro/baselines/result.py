@@ -1,0 +1,34 @@
+"""Common result type for all DSE baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.synthesis.solution import Implementation
+
+__all__ = ["BaselineResult"]
+
+
+@dataclass
+class BaselineResult:
+    """A (claimed) Pareto front plus search-effort statistics.
+
+    ``exact`` records whether the method guarantees the front is complete
+    (exhaustive / epsilon-constraint / ASPmT variants) or heuristic
+    (NSGA-II).
+    """
+
+    method: str
+    objectives: Tuple[str, ...]
+    front: Dict[Tuple[int, ...], Implementation]
+    exact: bool
+    models_enumerated: int = 0
+    solver_calls: int = 0
+    conflicts: int = 0
+    evaluations: int = 0
+    wall_time: float = 0.0
+    interrupted: bool = False
+
+    def vectors(self) -> List[Tuple[int, ...]]:
+        return sorted(self.front)

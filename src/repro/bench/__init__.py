@@ -1,0 +1,38 @@
+"""Benchmark harness: regenerates every table and figure of the paper.
+
+Each experiment has a function returning structured rows/series plus an
+ASCII rendering; ``python -m repro.bench <experiment>`` prints it.  The
+``benchmarks/`` directory wraps the same functions in pytest-benchmark
+fixtures.
+
+Experiments (see DESIGN.md for the mapping to the paper):
+
+* ``table1`` — benchmark instance characteristics,
+* ``table2`` — exact multi-objective DSE: proposed vs. solution-level
+  vs. epsilon-constraint,
+* ``fig1``   — example Pareto front, exact vs. NSGA-II,
+* ``fig2``   — scaling with task count,
+* ``fig3``   — ablation: partial-assignment dominance propagation,
+* ``fig4``   — ablation: list vs. quad-tree archive.
+"""
+
+from repro.bench.experiments import (
+    fig1_front,
+    fig2_scaling,
+    fig3_pruning_ablation,
+    fig4_archive_ablation,
+    table1_instances,
+    table2_dse,
+)
+from repro.bench.render import render_series, render_table
+
+__all__ = [
+    "fig1_front",
+    "fig2_scaling",
+    "fig3_pruning_ablation",
+    "fig4_archive_ablation",
+    "render_series",
+    "render_table",
+    "table1_instances",
+    "table2_dse",
+]

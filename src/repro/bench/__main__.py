@@ -1,0 +1,201 @@
+"""CLI: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.bench table1
+    python -m repro.bench table2 --suites small
+    python -m repro.bench fig1 fig2 fig3 fig4
+    python -m repro.bench all --quick
+
+``--quick`` shrinks workloads/budgets so everything completes in a couple
+of minutes; the defaults match EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from repro.bench.experiments import (
+    fig1_front,
+    fig2_scaling,
+    fig3_pruning_ablation,
+    fig4_archive_ablation,
+    fig5_approximation,
+    fig6_heuristics,
+    fig7_routing,
+    fig8_solver_ablation,
+    fig9_contention,
+    table1_instances,
+    table2_dse,
+    table3_curated,
+)
+from repro.bench.render import render_scatter, render_series, render_table
+
+EXPERIMENTS = (
+    "table1",
+    "table2",
+    "table3",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+)
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.bench", description=__doc__)
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=EXPERIMENTS + ("all", "report"),
+        help="which tables/figures to regenerate ('report' writes markdown)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="for 'report': write the markdown report to this file",
+    )
+    parser.add_argument(
+        "--suites",
+        nargs="+",
+        default=None,
+        help="workload suites (default depends on the experiment)",
+    )
+    parser.add_argument(
+        "--budget",
+        type=int,
+        default=20_000,
+        help="conflict budget per solver run (paper-timeout substitute)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small workloads, small budgets"
+    )
+    args = parser.parse_args(argv)
+
+    if "report" in args.experiments:
+        from repro.bench.report import generate_report
+
+        text = generate_report(quick=args.quick, budget=args.budget if not args.quick else None)
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(text + "\n")
+            print(f"report written to {args.output}")
+        else:
+            print(text)
+        return 0
+
+    experiments = list(args.experiments)
+    if "all" in experiments:
+        experiments = list(EXPERIMENTS)
+    budget = 2_000 if args.quick else args.budget
+    table_suites = args.suites or (["tiny", "small"] if args.quick else ["small", "medium"])
+    dse_suites = args.suites or (["tiny"] if args.quick else ["small"])
+
+    for experiment in experiments:
+        if experiment == "table1":
+            columns, rows = table1_instances(table_suites)
+            print(render_table("Table I: benchmark instances", columns, rows))
+        elif experiment == "table2":
+            columns, rows = table2_dse(dse_suites, conflict_limit=budget)
+            print(
+                render_table(
+                    "Table II: exact multi-objective DSE (proposed vs. baselines)",
+                    columns,
+                    rows,
+                )
+            )
+        elif experiment == "table3":
+            columns, rows = table3_curated(conflict_limit=budget)
+            print(
+                render_table(
+                    "Table III (ext.): curated domain instances", columns, rows
+                )
+            )
+        elif experiment == "fig1":
+            tasks = 5 if args.quick else 8
+            fronts = fig1_front(tasks=tasks, conflict_limit=budget)
+            print(
+                render_scatter(
+                    "Fig. 1: Pareto front, exact vs. NSGA-II (latency/energy)",
+                    fronts,
+                )
+            )
+            print(render_series("Fig. 1 data", fronts))
+        elif experiment == "fig2":
+            counts = (3, 4, 5) if args.quick else (4, 5, 6, 7, 8)
+            series = fig2_scaling(task_counts=counts, conflict_limit=budget)
+            print(render_series("Fig. 2: scaling with task count", series))
+        elif experiment == "fig3":
+            columns, rows = fig3_pruning_ablation(dse_suites, conflict_limit=budget)
+            print(
+                render_table(
+                    "Fig. 3: partial-assignment dominance propagation ablation",
+                    columns,
+                    rows,
+                )
+            )
+        elif experiment == "fig4":
+            sizes = (50, 100) if args.quick else (100, 400, 1600)
+            columns, rows = fig4_archive_ablation(sizes=sizes)
+            print(
+                render_table(
+                    "Fig. 4: archive data structure ablation", columns, rows
+                )
+            )
+        elif experiment == "fig5":
+            tasks = 5 if args.quick else 8
+            columns, rows = fig5_approximation(tasks=tasks, conflict_limit=budget)
+            print(
+                render_table(
+                    "Fig. 5 (ext.): epsilon-dominance approximation",
+                    columns,
+                    rows,
+                )
+            )
+        elif experiment == "fig6":
+            columns, rows = fig6_heuristics(dse_suites, conflict_limit=budget)
+            print(
+                render_table(
+                    "Fig. 6 (ext.): objective-aware decision phases",
+                    columns,
+                    rows,
+                )
+            )
+        elif experiment == "fig8":
+            columns, rows = fig8_solver_ablation(dse_suites, conflict_limit=budget)
+            print(
+                render_table(
+                    "Fig. 8 (ext.): CDNL solver knob ablation", columns, rows
+                )
+            )
+        elif experiment == "fig9":
+            columns, rows = fig9_contention(dse_suites, conflict_limit=budget)
+            print(
+                render_table(
+                    "Fig. 9 (ext.): link-contention model refinement",
+                    columns,
+                    rows,
+                )
+            )
+        elif experiment == "fig7":
+            columns, rows = fig7_routing(dse_suites, conflict_limit=budget)
+            print(
+                render_table(
+                    "Fig. 7 (ext.): routing freedom vs. fixed routing",
+                    columns,
+                    rows,
+                )
+            )
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

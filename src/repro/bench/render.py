@@ -1,0 +1,78 @@
+"""Plain-text rendering of benchmark tables and series."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+__all__ = ["render_table", "render_series", "render_scatter"]
+
+
+def render_table(
+    title: str, columns: Sequence[str], rows: Sequence[Mapping[str, object]]
+) -> str:
+    """Fixed-width ASCII table with a title rule."""
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.2f}"
+        return str(value)
+
+    widths = {c: len(c) for c in columns}
+    for row in rows:
+        for column in columns:
+            widths[column] = max(widths[column], len(fmt(row.get(column, ""))))
+    header = " | ".join(c.ljust(widths[c]) for c in columns)
+    rule = "-+-".join("-" * widths[c] for c in columns)
+    lines = [title, "=" * len(title), header, rule]
+    for row in rows:
+        lines.append(
+            " | ".join(fmt(row.get(c, "")).ljust(widths[c]) for c in columns)
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str, series: Mapping[str, Sequence[Tuple[object, object]]]
+) -> str:
+    """Numeric (x, y) series as aligned columns, one block per series."""
+    lines = [title, "=" * len(title)]
+    for name, points in series.items():
+        lines.append(f"[{name}]")
+        for x, y in points:
+            y_text = f"{y:.2f}" if isinstance(y, float) else str(y)
+            lines.append(f"  {x}\t{y_text}")
+    return "\n".join(lines)
+
+
+def render_scatter(
+    title: str,
+    series: Mapping[str, Sequence[Tuple[int, int]]],
+    width: int = 60,
+    height: int = 20,
+) -> str:
+    """A coarse ASCII scatter plot (used for the Fig. 1 fronts)."""
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return f"{title}\n(empty)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = max(x_hi - x_lo, 1)
+    y_span = max(y_hi - y_lo, 1)
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#"
+    # Draw in reverse order so the first series wins overlapping cells.
+    for index, (name, pts) in reversed(list(enumerate(series.items()))):
+        marker = markers[index % len(markers)]
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+    legend = "   ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines = [title, "=" * len(title)]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {x_lo}..{x_hi}   y: {y_lo}..{y_hi}   {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Exact multi-objective design space exploration (the paper's core).
+
+The DSE enumerates the *exact Pareto front* of a synthesis design space
+with a single incremental ASPmT solver run:
+
+1. the CDNL solver searches for implementations;
+2. the :class:`repro.dse.explorer.DominancePropagator` evaluates a lower
+   bound of the objective vector on every *partial* assignment and prunes
+   (with a learned clause) any subtree whose bound is weakly dominated by
+   a point already in the archive — such a subtree cannot contain a new
+   Pareto point;
+3. every surviving total assignment is a new non-dominated point: it is
+   recorded, inserted into the archive (evicting points it dominates),
+   and the search continues;
+4. when the solver proves unsatisfiability, the archive *is* the exact
+   Pareto front.
+
+Archives: a linear-scan list (:class:`repro.dse.pareto.ListArchive`) and
+the quad-tree of the authors' ASP-DAC 2018 companion paper
+(:class:`repro.dse.quadtree.QuadTreeArchive`).
+"""
+
+from repro.dse.explorer import (
+    DominancePropagator,
+    DseResult,
+    DseStatistics,
+    ExactParetoExplorer,
+    ObjectiveBoundPropagator,
+    ParetoPoint,
+)
+from repro.dse.pareto import ListArchive, dominates, pareto_filter, weakly_dominates
+from repro.dse.quadtree import QuadTreeArchive
+
+__all__ = [
+    "DominancePropagator",
+    "DseResult",
+    "DseStatistics",
+    "ExactParetoExplorer",
+    "ListArchive",
+    "ObjectiveBoundPropagator",
+    "ParetoPoint",
+    "QuadTreeArchive",
+    "dominates",
+    "pareto_filter",
+    "weakly_dominates",
+]

@@ -1,0 +1,174 @@
+"""Quad-tree Pareto archive (ASP-DAC 2018 companion data structure).
+
+A Habenicht-style quad-tree over the objective space: every node holds a
+non-dominated point; a child's key is the bitmask recording, per
+dimension, whether the child's vector is >= the parent's.  Dominance
+queries then only descend into quadrants that can possibly contain a
+dominator (or a dominated point), which — on the well-spread fronts of
+multi-objective DSE — touches far fewer points than a linear scan.
+
+The interface matches :class:`repro.dse.pareto.ListArchive`, including
+the ``comparisons`` counter used by the Fig. 4 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generic, Iterator, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.dse.pareto import weakly_dominates
+
+__all__ = ["QuadTreeArchive"]
+
+Vector = Tuple[int, ...]
+Payload = TypeVar("Payload")
+
+
+@dataclass
+class _Node:
+    vector: Vector
+    payload: object
+    children: Dict[int, "_Node"] = field(default_factory=dict)
+
+
+class QuadTreeArchive(Generic[Payload]):
+    """Quad-tree archive of mutually non-dominated vectors."""
+
+    def __init__(self) -> None:
+        self._root: Optional[_Node] = None
+        self._size = 0
+        self.comparisons = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Tuple[Vector, Payload]]:
+        def walk(node: Optional[_Node]):
+            if node is None:
+                return
+            yield (node.vector, node.payload)
+            for child in node.children.values():
+                yield from walk(child)
+
+        yield from walk(self._root)
+
+    def vectors(self) -> List[Vector]:
+        return [vector for vector, _payload in self]
+
+    # -- keys --------------------------------------------------------------------
+
+    @staticmethod
+    def _key(parent: Vector, vector: Vector) -> int:
+        key = 0
+        for i, (p, v) in enumerate(zip(parent, vector)):
+            if v >= p:
+                key |= 1 << i
+        return key
+
+    # -- queries -----------------------------------------------------------------
+
+    def find_weak_dominator(self, vector: Sequence[int]) -> Optional[Vector]:
+        """An archive vector weakly dominating ``vector``, if any."""
+        vector = tuple(vector)
+
+        def search(node: Optional[_Node]) -> Optional[Vector]:
+            if node is None:
+                return None
+            self.comparisons += 1
+            if weakly_dominates(node.vector, vector):
+                return node.vector
+            for key, child in node.children.items():
+                # A dominator d has d_i <= vector_i; in child `key`,
+                # d_i >= parent_i wherever the bit is set, so that
+                # quadrant is viable only if parent_i <= vector_i there.
+                viable = True
+                for i, p in enumerate(node.vector):
+                    if key & (1 << i) and p > vector[i]:
+                        viable = False
+                        break
+                if viable:
+                    found = search(child)
+                    if found is not None:
+                        return found
+            return None
+
+        return search(self._root)
+
+    # -- insertion ----------------------------------------------------------------
+
+    def add(self, vector: Sequence[int], payload: Payload) -> bool:
+        """Insert; returns False when weakly dominated by the archive."""
+        vector = tuple(vector)
+        if self.find_weak_dominator(vector) is not None:
+            return False
+        survivors: List[Tuple[Vector, Payload]] = []
+        self._root = self._remove_dominated(self._root, vector, survivors)
+        for old_vector, old_payload in survivors:
+            self._place(old_vector, old_payload)
+        self._place(vector, payload)
+        return True
+
+    def _remove_dominated(
+        self,
+        node: Optional[_Node],
+        vector: Vector,
+        survivors: List[Tuple[Vector, Payload]],
+    ) -> Optional[_Node]:
+        """Drop nodes weakly dominated by ``vector``; collect the rest of
+        their subtrees into ``survivors`` for reinsertion."""
+        if node is None:
+            return None
+        self.comparisons += 1
+        if weakly_dominates(vector, node.vector):
+            # The whole subtree is detached; survivors are reinserted.
+            for child in node.children.values():
+                self._collect_survivors(child, vector, survivors)
+            self._size -= 1
+            return None
+        for key in list(node.children.keys()):
+            # A dominated q has q_i >= vector_i; in child `key`,
+            # q_i < parent_i wherever the bit is clear, so the quadrant
+            # is viable only if vector_i < parent_i there.
+            viable = True
+            for i, p in enumerate(node.vector):
+                if not key & (1 << i) and vector[i] >= p:
+                    viable = False
+                    break
+            if viable:
+                replacement = self._remove_dominated(
+                    node.children[key], vector, survivors
+                )
+                if replacement is None:
+                    del node.children[key]
+                else:
+                    node.children[key] = replacement
+        return node
+
+    def _collect_survivors(
+        self,
+        node: _Node,
+        vector: Vector,
+        survivors: List[Tuple[Vector, Payload]],
+    ) -> None:
+        self.comparisons += 1
+        if weakly_dominates(vector, node.vector):
+            self._size -= 1
+        else:
+            survivors.append((node.vector, node.payload))
+            self._size -= 1  # re-counted when re-placed
+        for child in node.children.values():
+            self._collect_survivors(child, vector, survivors)
+
+    def _place(self, vector: Vector, payload: Payload) -> None:
+        self._size += 1
+        if self._root is None:
+            self._root = _Node(vector, payload)
+            return
+        node = self._root
+        while True:
+            key = self._key(node.vector, vector)
+            child = node.children.get(key)
+            if child is None:
+                node.children[key] = _Node(vector, payload)
+                return
+            node = child

@@ -1,0 +1,64 @@
+"""System-level synthesis: the application domain of the paper.
+
+The specification model follows the double-graph formulation used across
+the authors' publication series (Andres et al. LPNMR'13; Biewer et al.
+DATE'15; Neubauer et al. DATE'17/'18):
+
+* an *application graph* — tasks connected by messages (data
+  dependencies),
+* an *architecture graph* — processing resources connected by directed
+  links (a NoC mesh, a shared bus, ...),
+* *mapping options* — for each task, the resources that can execute it,
+  with per-option worst-case execution time and energy,
+* per-resource allocation *costs*.
+
+A feasible *implementation* binds every task to one of its mapping
+options, routes every message over a path between the endpoint
+resources, and schedules all tasks respecting data dependencies; the DSE
+optimizes latency, energy and cost over all implementations.
+
+Modules:
+
+* :mod:`repro.synthesis.model` -- specification data model + validation,
+* :mod:`repro.synthesis.platforms` -- architecture generators (mesh NoC,
+  bus, rings) and heterogeneous tile profiles,
+* :mod:`repro.synthesis.encoding` -- the ASPmT encoding (facts, rules,
+  theory atoms, objective declarations),
+* :mod:`repro.synthesis.solution` -- decoding of models into
+  implementations and a solver-independent feasibility checker.
+"""
+
+from repro.synthesis.encoding import EncodedInstance, ObjectiveSpec, encode
+from repro.synthesis.model import (
+    Application,
+    Architecture,
+    Link,
+    MappingOption,
+    Message,
+    Resource,
+    Specification,
+    Task,
+)
+from repro.synthesis.platforms import bus, heterogeneous_resources, mesh, ring
+from repro.synthesis.solution import Implementation, decode_model, validate
+
+__all__ = [
+    "Application",
+    "Architecture",
+    "EncodedInstance",
+    "Implementation",
+    "Link",
+    "MappingOption",
+    "Message",
+    "ObjectiveSpec",
+    "Resource",
+    "Specification",
+    "Task",
+    "bus",
+    "decode_model",
+    "encode",
+    "heterogeneous_resources",
+    "mesh",
+    "ring",
+    "validate",
+]

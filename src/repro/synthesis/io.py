@@ -1,0 +1,151 @@
+"""JSON (de)serialization of specifications and results.
+
+Lets users keep instances in version control and feed externally
+generated specifications (e.g. converted TGFF files) to the explorer:
+
+.. code-block:: python
+
+    from repro.synthesis.io import load_specification, save_specification
+
+    save_specification(spec, "instance.json")
+    spec = load_specification("instance.json")
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.synthesis.model import (
+    Application,
+    Architecture,
+    Link,
+    MappingOption,
+    Message,
+    Resource,
+    Specification,
+    Task,
+)
+
+__all__ = [
+    "specification_to_dict",
+    "specification_from_dict",
+    "save_specification",
+    "load_specification",
+]
+
+FORMAT_VERSION = 1
+
+
+def specification_to_dict(spec: Specification) -> Dict:
+    """A plain-JSON representation of ``spec``."""
+    return {
+        "format": FORMAT_VERSION,
+        "application": {
+            # Plain string for deadline-free tasks (the common case);
+            # {"name", "deadline"} objects otherwise.
+            "tasks": [
+                task.name
+                if task.deadline is None
+                else {"name": task.name, "deadline": task.deadline}
+                for task in spec.application.tasks
+            ],
+            "messages": [
+                {
+                    "name": message.name,
+                    "source": message.source,
+                    "target": message.target,
+                    "size": message.size,
+                    "extra_targets": list(message.extra_targets),
+                }
+                for message in spec.application.messages
+            ],
+        },
+        "architecture": {
+            "resources": [
+                {"name": resource.name, "cost": resource.cost}
+                for resource in spec.architecture.resources
+            ],
+            "links": [
+                {
+                    "name": link.name,
+                    "source": link.source,
+                    "target": link.target,
+                    "delay": link.delay,
+                    "energy": link.energy,
+                }
+                for link in spec.architecture.links
+            ],
+        },
+        "mappings": [
+            {
+                "task": option.task,
+                "resource": option.resource,
+                "wcet": option.wcet,
+                "energy": option.energy,
+            }
+            for option in spec.mappings
+        ],
+    }
+
+
+def specification_from_dict(data: Dict) -> Specification:
+    """Rebuild a :class:`Specification`; validation runs on construction."""
+    version = data.get("format", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported specification format {version}")
+    application = Application(
+        tasks=tuple(
+            Task(entry)
+            if isinstance(entry, str)
+            else Task(entry["name"], deadline=entry.get("deadline"))
+            for entry in data["application"]["tasks"]
+        ),
+        messages=tuple(
+            Message(
+                message["name"],
+                message["source"],
+                message["target"],
+                size=message.get("size", 1),
+                extra_targets=tuple(message.get("extra_targets", ())),
+            )
+            for message in data["application"]["messages"]
+        ),
+    )
+    architecture = Architecture(
+        resources=tuple(
+            Resource(resource["name"], cost=resource.get("cost", 0))
+            for resource in data["architecture"]["resources"]
+        ),
+        links=tuple(
+            Link(
+                link["name"],
+                link["source"],
+                link["target"],
+                delay=link.get("delay", 1),
+                energy=link.get("energy", 1),
+            )
+            for link in data["architecture"]["links"]
+        ),
+    )
+    mappings = tuple(
+        MappingOption(
+            option["task"],
+            option["resource"],
+            wcet=option["wcet"],
+            energy=option.get("energy", 0),
+        )
+        for option in data["mappings"]
+    )
+    return Specification(application, architecture, mappings)
+
+
+def save_specification(spec: Specification, path: Union[str, Path]) -> None:
+    Path(path).write_text(
+        json.dumps(specification_to_dict(spec), indent=2, sort_keys=True) + "\n"
+    )
+
+
+def load_specification(path: Union[str, Path]) -> Specification:
+    return specification_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,140 @@
+"""Architecture generators: the platforms of the evaluation section.
+
+The paper's instances target heterogeneous multi-core platforms with
+network-on-chip interconnects.  Three families are provided:
+
+* :func:`mesh` — an N×M mesh NoC with bidirectional links between
+  neighbours (the classic platform of the authors' benchmark set),
+* :func:`bus` — processing elements around a single shared medium,
+* :func:`ring` — a unidirectional ring.
+
+Resource heterogeneity (cost classes: small/big/accelerator tiles) is
+generated deterministically from a seed via
+:func:`heterogeneous_resources`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from repro.synthesis.model import Architecture, Link, Resource
+
+__all__ = ["mesh", "bus", "ring", "heterogeneous_resources", "TILE_CLASSES"]
+
+#: (class name, allocation cost, wcet factor %, energy factor %).
+#: "big" tiles are fast but expensive and power-hungry; "small" tiles the
+#: reverse; accelerators are extreme on both axes.
+TILE_CLASSES: Tuple[Tuple[str, int, int, int], ...] = (
+    ("small", 2, 150, 70),
+    ("medium", 4, 100, 100),
+    ("big", 8, 60, 160),
+    ("accel", 12, 30, 220),
+)
+
+
+def heterogeneous_resources(
+    count: int, seed: int = 0, prefix: str = "pe"
+) -> List[Tuple[Resource, Tuple[str, int, int, int]]]:
+    """``count`` tiles with deterministic pseudo-random classes.
+
+    Returns ``(resource, tile_class)`` pairs; the class factors scale the
+    application's nominal WCET/energy in the workload generators.
+    """
+    rng = random.Random(seed)
+    out = []
+    for index in range(count):
+        tile = rng.choice(TILE_CLASSES)
+        out.append((Resource(f"{prefix}{index}", cost=tile[1]), tile))
+    return out
+
+
+def _link_pair(
+    name: str, a: str, b: str, delay: int, energy: int
+) -> List[Link]:
+    return [
+        Link(f"{name}_f", a, b, delay=delay, energy=energy),
+        Link(f"{name}_b", b, a, delay=delay, energy=energy),
+    ]
+
+
+def mesh(
+    columns: int,
+    rows: int,
+    seed: int = 0,
+    link_delay: int = 1,
+    link_energy: int = 1,
+) -> Architecture:
+    """A ``columns x rows`` mesh NoC of heterogeneous tiles.
+
+    Each grid position holds one processing element; neighbouring
+    elements are connected by a pair of directed links (the router is
+    folded into the tile, as in the paper's abstract platform model).
+    """
+    if columns < 1 or rows < 1:
+        raise ValueError("mesh needs at least one column and row")
+    tiles = heterogeneous_resources(columns * rows, seed=seed)
+    resources = [resource for resource, _tile in tiles]
+    links: List[Link] = []
+
+    def index(x: int, y: int) -> int:
+        return y * columns + x
+
+    for y in range(rows):
+        for x in range(columns):
+            here = resources[index(x, y)].name
+            if x + 1 < columns:
+                right = resources[index(x + 1, y)].name
+                links.extend(
+                    _link_pair(f"lh{x}_{y}", here, right, link_delay, link_energy)
+                )
+            if y + 1 < rows:
+                down = resources[index(x, y + 1)].name
+                links.extend(
+                    _link_pair(f"lv{x}_{y}", here, down, link_delay, link_energy)
+                )
+    return Architecture(tuple(resources), tuple(links))
+
+
+def bus(
+    count: int,
+    seed: int = 0,
+    link_delay: int = 1,
+    link_energy: int = 1,
+) -> Architecture:
+    """``count`` heterogeneous PEs attached to one shared bus resource."""
+    if count < 1:
+        raise ValueError("bus needs at least one processing element")
+    tiles = heterogeneous_resources(count, seed=seed)
+    resources = [resource for resource, _tile in tiles]
+    hub = Resource("bus", cost=1)
+    links: List[Link] = []
+    for resource in resources:
+        links.extend(
+            _link_pair(f"lb_{resource.name}", resource.name, hub.name, link_delay, link_energy)
+        )
+    return Architecture(tuple(resources) + (hub,), tuple(links))
+
+
+def ring(
+    count: int,
+    seed: int = 0,
+    link_delay: int = 1,
+    link_energy: int = 1,
+) -> Architecture:
+    """A unidirectional ring of ``count`` heterogeneous PEs."""
+    if count < 2:
+        raise ValueError("ring needs at least two processing elements")
+    tiles = heterogeneous_resources(count, seed=seed)
+    resources = [resource for resource, _tile in tiles]
+    links = [
+        Link(
+            f"lr{i}",
+            resources[i].name,
+            resources[(i + 1) % count].name,
+            delay=link_delay,
+            energy=link_energy,
+        )
+        for i in range(count)
+    ]
+    return Architecture(tuple(resources), tuple(links))

@@ -1,0 +1,203 @@
+"""Visualization: Graphviz DOT export and ASCII summaries.
+
+Specifications and implementations export to the standard DOT format so
+users can render them with graphviz (``dot -Tpdf``) or any online
+viewer; :func:`implementation_summary` produces a terminal-friendly
+description used by the examples and the DSE CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.synthesis.model import Specification
+from repro.synthesis.solution import Implementation
+
+__all__ = [
+    "application_to_dot",
+    "architecture_to_dot",
+    "implementation_to_dot",
+    "implementation_summary",
+    "schedule_gantt",
+]
+
+
+def _quote(name: str) -> str:
+    return f'"{name}"'
+
+
+def application_to_dot(spec: Specification) -> str:
+    """The task graph as a DOT digraph (tasks round, messages as edges)."""
+    lines = [
+        "digraph application {",
+        "  rankdir=LR;",
+        '  node [shape=ellipse, style=filled, fillcolor="#dbeafe"];',
+    ]
+    for task in spec.application.tasks:
+        options = len(spec.options_of(task.name))
+        lines.append(
+            f"  {_quote(task.name)} [label=\"{task.name}\\n{options} options\"];"
+        )
+    for message in spec.application.messages:
+        for target in message.targets:
+            lines.append(
+                f"  {_quote(message.source)} -> {_quote(target)} "
+                f'[label="{message.name} (s={message.size})"];'
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def architecture_to_dot(spec: Specification) -> str:
+    """The platform graph (resources as boxes, links as edges)."""
+    lines = [
+        "digraph architecture {",
+        '  node [shape=box, style=filled, fillcolor="#dcfce7"];',
+    ]
+    for resource in spec.architecture.resources:
+        lines.append(
+            f"  {_quote(resource.name)} "
+            f'[label="{resource.name}\\ncost={resource.cost}"];'
+        )
+    for link in spec.architecture.links:
+        lines.append(
+            f"  {_quote(link.source)} -> {_quote(link.target)} "
+            f'[label="{link.name} d={link.delay} e={link.energy}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def implementation_to_dot(
+    spec: Specification, implementation: Implementation
+) -> str:
+    """One design point: platform with bound tasks and highlighted routes."""
+    by_resource: Dict[str, List[str]] = {}
+    for task, resource in implementation.binding.items():
+        by_resource.setdefault(resource, []).append(task)
+    used_links = {
+        name for route in implementation.routes.values() for name in route
+    }
+    lines = [
+        "digraph implementation {",
+        '  node [shape=box, style=filled];',
+    ]
+    for resource in spec.architecture.resources:
+        tasks = sorted(by_resource.get(resource.name, []))
+        fill = "#fef9c3" if tasks else "#f3f4f6"
+        label = resource.name
+        if tasks:
+            label += "\\n" + "\\n".join(tasks)
+        lines.append(
+            f"  {_quote(resource.name)} [label=\"{label}\", fillcolor=\"{fill}\"];"
+        )
+    for link in spec.architecture.links:
+        style = (
+            'color="#dc2626", penwidth=2' if link.name in used_links else 'color="#9ca3af"'
+        )
+        lines.append(
+            f"  {_quote(link.source)} -> {_quote(link.target)} [{style}];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def schedule_gantt(
+    spec: Specification, implementation: Implementation, width: int = 60
+) -> str:
+    """An ASCII Gantt chart of the schedule, one row per resource.
+
+    Tasks render as ``[name ]`` blocks scaled to their WCET; message
+    transmissions (when scheduled under link contention) appear on a
+    ``bus`` row per link group.
+    """
+    if not implementation.schedule:
+        return "(no schedule)"
+
+    def wcet(task: str) -> int:
+        return spec.option(task, implementation.binding[task]).wcet
+
+    makespan = max(
+        implementation.schedule[t] + wcet(t) for t in implementation.schedule
+    )
+    makespan = max(makespan, 1)
+    scale = max(1, -(-makespan // width))  # ceil division: time per column
+
+    def bar(entries):
+        """entries: list of (start, duration, label)."""
+        columns = -(-makespan // scale)
+        row = [" "] * columns
+        for start, duration, label in sorted(entries):
+            begin = start // scale
+            end = max(begin + 1, -(-(start + duration) // scale))
+            block = list("[" + label[: max(end - begin - 2, 0)].ljust(end - begin - 2, ".") + "]")
+            if end - begin == 1:
+                block = ["#"]
+            for offset, char in enumerate(block):
+                if begin + offset < columns:
+                    row[begin + offset] = char
+        return "".join(row)
+
+    by_resource: Dict[str, list] = {}
+    for task, start in implementation.schedule.items():
+        resource = implementation.binding.get(task)
+        if resource is None:
+            continue
+        by_resource.setdefault(resource, []).append((start, wcet(task), task))
+
+    label_width = max(
+        [len(name) for name in by_resource]
+        + ([len("links")] if implementation.message_schedule else []),
+        default=0,
+    )
+    lines = [f"t=0 .. {makespan} (one column = {scale} time unit(s))"]
+    for resource in sorted(by_resource):
+        lines.append(
+            f"{resource.rjust(label_width)} |{bar(by_resource[resource])}"
+        )
+    if implementation.message_schedule:
+        links_by_name = {l.name: l for l in spec.architecture.links}
+        transmissions = []
+        for message in spec.application.messages:
+            start = implementation.message_schedule.get(message.name)
+            if start is None:
+                continue
+            duration = sum(
+                links_by_name[n].delay * max(message.size, 1)
+                for n in implementation.routes.get(message.name, ())
+            )
+            if duration:
+                transmissions.append((start, duration, message.name))
+        if transmissions:
+            lines.append(f"{'links'.rjust(label_width)} |{bar(transmissions)}")
+    return "\n".join(lines)
+
+
+def implementation_summary(
+    spec: Specification, implementation: Implementation
+) -> str:
+    """A compact multi-line terminal description of one design point."""
+    lines = []
+    if implementation.objectives:
+        objectives = ", ".join(
+            f"{name}={value}" for name, value in sorted(implementation.objectives.items())
+        )
+        lines.append(f"objectives: {objectives}")
+    by_resource: Dict[str, List[str]] = {}
+    for task, resource in sorted(implementation.binding.items()):
+        by_resource.setdefault(resource, []).append(task)
+    for resource in spec.architecture.resources:
+        tasks = by_resource.get(resource.name)
+        if tasks:
+            lines.append(f"  {resource.name}: {', '.join(tasks)}")
+    for message in spec.application.messages:
+        route = implementation.routes.get(message.name)
+        if route:
+            lines.append(f"  {message.name}: {' -> '.join(route)}")
+    if implementation.schedule:
+        order = sorted(implementation.schedule.items(), key=lambda kv: kv[1])
+        lines.append(
+            "  schedule: "
+            + " ".join(f"{task}@{start}" for task, start in order)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Background theories for ASP modulo Theories (ASPmT).
+
+The paper extends the Boolean synthesis encoding with linear constraints
+over integers evaluated on *partial* assignments (DATE 2017); this
+subpackage provides that machinery:
+
+* :mod:`repro.theory.domain` -- backtrackable integer interval stores with
+  per-bound explanations (sets of solver literals),
+* :mod:`repro.theory.linear` -- the main theory propagator: reified linear
+  constraints ``sum a_i*x_i + sum w_j*[l_j] <= b`` with bounds propagation
+  and clause-learning explanations; understands ``&sum``, ``&diff`` and
+  ``&dom`` theory atoms,
+* :mod:`repro.theory.difference` -- a specialized difference-logic
+  propagator (potential functions, incremental negative-cycle detection)
+  stacked on top for early scheduling conflicts (ablation: Fig. 3/4
+  benchmarks),
+* :mod:`repro.theory.objective` -- objective-function abstractions used by
+  the multi-objective DSE: pseudo-Boolean sums and theory-variable
+  objectives, both reporting lower bounds with explanations on partial
+  assignments.
+"""
+
+from repro.theory.difference import DifferenceLogicPropagator
+from repro.theory.domain import IntervalStore
+from repro.theory.linear import LinearConstraint, LinearPropagator
+from repro.theory.minimize import minimize_theory_variable
+from repro.theory.objective import (
+    IntVarObjective,
+    Objective,
+    PseudoBooleanObjective,
+)
+
+__all__ = [
+    "DifferenceLogicPropagator",
+    "IntervalStore",
+    "IntVarObjective",
+    "LinearConstraint",
+    "LinearPropagator",
+    "Objective",
+    "PseudoBooleanObjective",
+    "minimize_theory_variable",
+]

@@ -1,0 +1,150 @@
+"""Backtrackable integer interval store.
+
+Each theory variable carries an interval ``[lb, ub]`` plus, per bound, an
+*explanation*: the set of solver literals whose truth justified the bound.
+Explanations make the theory's deductions clause-learnable: when a
+propagation or conflict depends on a bound, the negated explanation
+literals appear in the clause handed to the CDCL core (the same scheme
+clingo-dl uses — no order literals are ever introduced).
+
+Updates are trailed with their decision level; :meth:`IntervalStore.undo`
+pops everything above a target level.  Level-0 updates are permanent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.asp.syntax import Symbol
+
+__all__ = ["IntervalStore", "INT_MIN", "INT_MAX"]
+
+#: Pseudo-infinities for variables without an explicit ``&dom``.
+INT_MIN = -(1 << 40)
+INT_MAX = 1 << 40
+
+
+@dataclass
+class _Entry:
+    """Trail record: previous bound state of one variable side."""
+
+    level: int
+    var: int
+    is_lower: bool
+    old_bound: int
+    old_reason: Tuple[int, ...]
+
+
+class IntervalStore:
+    """Integer variables with trailed interval bounds and explanations."""
+
+    def __init__(self) -> None:
+        self._names: List[Symbol] = []
+        self._ids: Dict[Symbol, int] = {}
+        self._lb: List[int] = []
+        self._ub: List[int] = []
+        self._lb_reason: List[Tuple[int, ...]] = []
+        self._ub_reason: List[Tuple[int, ...]] = []
+        self._trail: List[_Entry] = []
+
+    # -- variables --------------------------------------------------------------
+
+    def add_var(self, name: Symbol, lb: int = INT_MIN, ub: int = INT_MAX) -> int:
+        """Create (or look up) the variable called ``name``."""
+        existing = self._ids.get(name)
+        if existing is not None:
+            return existing
+        var = len(self._names)
+        self._names.append(name)
+        self._ids[name] = var
+        self._lb.append(lb)
+        self._ub.append(ub)
+        self._lb_reason.append(())
+        self._ub_reason.append(())
+        return var
+
+    def var(self, name: Symbol) -> Optional[int]:
+        return self._ids.get(name)
+
+    def name(self, var: int) -> Symbol:
+        return self._names[var]
+
+    @property
+    def num_vars(self) -> int:
+        return len(self._names)
+
+    def __iter__(self):
+        return iter(range(len(self._names)))
+
+    # -- bounds -----------------------------------------------------------------
+
+    def lb(self, var: int) -> int:
+        return self._lb[var]
+
+    def ub(self, var: int) -> int:
+        return self._ub[var]
+
+    def lb_reason(self, var: int) -> Tuple[int, ...]:
+        """Solver literals justifying the current lower bound."""
+        return self._lb_reason[var]
+
+    def ub_reason(self, var: int) -> Tuple[int, ...]:
+        return self._ub_reason[var]
+
+    def is_empty(self, var: int) -> bool:
+        return self._lb[var] > self._ub[var]
+
+    def set_lb(
+        self, var: int, value: int, reason: Sequence[int], level: int
+    ) -> bool:
+        """Raise the lower bound; returns True when the bound changed.
+
+        The caller is responsible for noticing emptiness (``is_empty``)
+        and turning ``lb_reason + ub_reason`` into a conflict clause.
+        """
+        if value <= self._lb[var]:
+            return False
+        if level > 0:
+            self._trail.append(
+                _Entry(level, var, True, self._lb[var], self._lb_reason[var])
+            )
+        self._lb[var] = value
+        self._lb_reason[var] = tuple(reason)
+        return True
+
+    def set_ub(
+        self, var: int, value: int, reason: Sequence[int], level: int
+    ) -> bool:
+        """Lower the upper bound; returns True when the bound changed."""
+        if value >= self._ub[var]:
+            return False
+        if level > 0:
+            self._trail.append(
+                _Entry(level, var, False, self._ub[var], self._ub_reason[var])
+            )
+        self._ub[var] = value
+        self._ub_reason[var] = tuple(reason)
+        return True
+
+    # -- backtracking -----------------------------------------------------------
+
+    def undo(self, level: int) -> None:
+        """Restore all bounds recorded above ``level``."""
+        while self._trail and self._trail[-1].level > level:
+            entry = self._trail.pop()
+            if entry.is_lower:
+                self._lb[entry.var] = entry.old_bound
+                self._lb_reason[entry.var] = entry.old_reason
+            else:
+                self._ub[entry.var] = entry.old_bound
+                self._ub_reason[entry.var] = entry.old_reason
+
+    # -- introspection ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[Symbol, Tuple[int, int]]:
+        """Current bounds keyed by variable name (for models/tests)."""
+        return {
+            self._names[v]: (self._lb[v], self._ub[v])
+            for v in range(len(self._names))
+        }

@@ -1,0 +1,443 @@
+"""Linear-constraint theory propagator (the ASPmT background theory).
+
+Interprets three theory-atom families produced by the encodings:
+
+* ``&dom { lo..hi } = x`` — declares the interval of integer variable
+  ``x`` (enforced when the atom is derived),
+* ``&sum { t1 ; t2 ; ... } op bound`` — a linear constraint over integer
+  variables and *reified Boolean terms*: an element with a condition
+  contributes its (constant) weight when the condition holds,
+* ``&diff { u - v } op bound`` — the difference-logic special case (same
+  machinery; the dedicated propagator in
+  :mod:`repro.theory.difference` can be stacked on top for earlier
+  conflict detection).
+
+Semantics mirror clingo-dl/clingcon usage: a theory atom *derived* by the
+program enforces its constraint; an underived atom enforces nothing.
+
+Propagation is bounds consistency with explanations: every bound update
+records the solver literals that justify it, so conflicts and Boolean
+propagations become ordinary learned clauses — the "partial assignment
+evaluation" of the DATE 2017 paper this work builds on.
+
+Completeness: the encodings keep every constraint *difference-like* —
+at most two variable terms with coefficients +1/-1 (plus arbitrary
+Boolean terms).  For such systems, bounds propagation over the finite
+``&dom`` intervals is refutation-complete once the Boolean assignment is
+total (setting every variable to its lower bound is then a witness), so
+the solver's models are exactly the theory-consistent answer sets.  The
+restriction is checked at ``init`` time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.asp.grounder import GroundTheoryAtom, TheoryTermOp
+from repro.asp.propagator import PropagatorInit, TheoryPropagator
+from repro.asp.solver import Solver
+from repro.asp.syntax import Function, Number, Symbol
+from repro.theory.domain import INT_MAX, INT_MIN, IntervalStore
+
+__all__ = ["LinearConstraint", "LinearPropagator", "TheoryError", "linearize"]
+
+
+class TheoryError(Exception):
+    """Raised when a theory atom cannot be interpreted."""
+
+
+@dataclass(frozen=True)
+class LinearConstraint:
+    """``condition -> sum(coef*var) + sum(weight*[lit]) <= bound``."""
+
+    condition: int
+    var_terms: Tuple[Tuple[int, int], ...]  # (coefficient, store var id)
+    bool_terms: Tuple[Tuple[int, int], ...]  # (weight, solver literal)
+    bound: int
+
+    def __str__(self) -> str:
+        parts = [f"{c}*x{v}" for c, v in self.var_terms]
+        parts += [f"{w}*[{l}]" for w, l in self.bool_terms]
+        return f"[{self.condition}] {' + '.join(parts) or '0'} <= {self.bound}"
+
+
+def linearize(term: object) -> Tuple[int, List[Tuple[int, Symbol]]]:
+    """Decompose a ground theory term into ``(constant, [(coef, var)])``.
+
+    Variables are arbitrary function symbols (``start(t1)``); arithmetic
+    is limited to ``+``, ``-``, and multiplication by constants.
+    """
+    if isinstance(term, Number):
+        return term.value, []
+    if isinstance(term, Function):
+        return 0, [(1, term)]
+    if isinstance(term, TheoryTermOp):
+        if term.op == "+":
+            const_l, vars_l = linearize(term.arguments[0])
+            const_r, vars_r = linearize(term.arguments[1])
+            return const_l + const_r, vars_l + vars_r
+        if term.op == "-":
+            if len(term.arguments) == 1:
+                const, variables = linearize(term.arguments[0])
+                return -const, [(-c, v) for c, v in variables]
+            const_l, vars_l = linearize(term.arguments[0])
+            const_r, vars_r = linearize(term.arguments[1])
+            return const_l - const_r, vars_l + [(-c, v) for c, v in vars_r]
+        if term.op == "*":
+            const_l, vars_l = linearize(term.arguments[0])
+            const_r, vars_r = linearize(term.arguments[1])
+            if vars_l and vars_r:
+                raise TheoryError(f"non-linear theory term {term}")
+            if vars_l:
+                return const_l * const_r, [(c * const_r, v) for c, v in vars_l]
+            return const_l * const_r, [(c * const_l, v) for c, v in vars_r]
+    raise TheoryError(f"cannot linearize theory term {term}")
+
+
+class LinearPropagator(TheoryPropagator):
+    """Bounds-propagating linear constraints with explanations."""
+
+    def __init__(self, default_lb: int = 0, default_ub: int = INT_MAX):
+        self.store = IntervalStore()
+        self._default_bounds = (default_lb, default_ub)
+        self._constraints: List[LinearConstraint] = []
+        self._by_var: Dict[int, List[int]] = {}
+        self._by_lit: Dict[int, List[int]] = {}
+        self._solver: Optional[Solver] = None
+        #: Statistics: bound updates / conflicts / propagated literals.
+        self.bound_updates = 0
+        self.theory_conflicts = 0
+        self.theory_propagations = 0
+
+    # ------------------------------------------------------------------
+    # Initialization: interpret theory atoms
+    # ------------------------------------------------------------------
+
+    def init(self, init: PropagatorInit) -> None:
+        self._solver = init.solver
+        watched: Set[int] = set()
+        for atom, lit in init.theory_atoms:
+            if atom.name == "dom":
+                self._init_dom(atom, lit)
+            elif atom.name in ("sum", "diff"):
+                self._init_sum(atom, lit, init)
+            else:
+                continue  # other theories (e.g. the dominance propagator)
+        for index, constraint in enumerate(self._constraints):
+            for _coef, var in constraint.var_terms:
+                self._by_var.setdefault(var, []).append(index)
+            watched.add(constraint.condition)
+            self._by_lit.setdefault(constraint.condition, []).append(index)
+            for weight, lit in constraint.bool_terms:
+                trigger = lit if weight > 0 else -lit
+                watched.add(trigger)
+                self._by_lit.setdefault(trigger, []).append(index)
+        for lit in sorted(watched):
+            init.add_watch(lit, self)
+
+    def var_id(self, name: Symbol) -> int:
+        """Store id of variable ``name`` (creating it with default bounds)."""
+        var = self.store.var(name)
+        if var is None:
+            var = self.store.add_var(name, *self._default_bounds)
+        return var
+
+    def _init_dom(self, atom: GroundTheoryAtom, lit: int) -> None:
+        if atom.guard is None or atom.guard[0] != "=":
+            raise TheoryError(f"&dom requires '= variable' guard: {atom}")
+        name = atom.guard[1]
+        if not isinstance(name, Function):
+            raise TheoryError(f"&dom guard must name a variable: {atom}")
+        if len(atom.elements) != 1:
+            raise TheoryError(f"&dom takes exactly one lo..hi element: {atom}")
+        (terms, condition), = atom.elements
+        if condition:
+            raise TheoryError(f"&dom elements cannot be conditional: {atom}")
+        interval = terms[0]
+        if not (isinstance(interval, TheoryTermOp) and interval.op == ".."):
+            raise TheoryError(f"&dom element must be lo..hi: {atom}")
+        lo, hi = interval.arguments
+        if not isinstance(lo, Number) or not isinstance(hi, Number):
+            raise TheoryError(f"&dom bounds must be integers: {atom}")
+        var = self.var_id(name)
+        # x <= hi  and  -x <= -lo, both conditioned on the atom.
+        self._constraints.append(LinearConstraint(lit, ((1, var),), (), hi.value))
+        self._constraints.append(LinearConstraint(lit, ((-1, var),), (), -lo.value))
+
+    def _init_sum(
+        self, atom: GroundTheoryAtom, lit: int, init: PropagatorInit
+    ) -> None:
+        const = 0
+        var_terms: List[Tuple[int, int]] = []
+        bool_terms: List[Tuple[int, int]] = []
+        for terms, condition in atom.elements:
+            value, variables = linearize(terms[0])
+            if condition:
+                if variables:
+                    raise TheoryError(
+                        f"conditional variable terms are not supported: {atom}"
+                    )
+                cond_lit = self._condition_literal(condition, init)
+                if cond_lit is None:
+                    continue  # condition is false forever
+                if cond_lit is True:  # condition is a fact
+                    const += value
+                else:
+                    bool_terms.append((value, cond_lit))
+            else:
+                const += value
+                for coef, name in variables:
+                    var_terms.append((coef, self.var_id(name)))
+        if atom.guard is None:
+            raise TheoryError(f"&{atom.name} requires a guard: {atom}")
+        op, guard_value = atom.guard
+        if isinstance(guard_value, Number):
+            bound = guard_value.value
+        elif isinstance(guard_value, Function):
+            # "expr op variable": move the variable to the left-hand side.
+            var_terms.append((-1, self.var_id(guard_value)))
+            bound = 0
+        else:
+            raise TheoryError(f"unsupported guard value in {atom}")
+        bound -= const
+
+        def emit(vterms, bterms, b):
+            constraint = LinearConstraint(lit, tuple(vterms), tuple(bterms), b)
+            self._check_difference_like(constraint, atom)
+            self._constraints.append(constraint)
+
+        negated_vars = [(-c, v) for c, v in var_terms]
+        negated_bools = [(-w, l) for w, l in bool_terms]
+        if op == "<=":
+            emit(var_terms, bool_terms, bound)
+        elif op == "<":
+            emit(var_terms, bool_terms, bound - 1)
+        elif op == ">=":
+            emit(negated_vars, negated_bools, -bound)
+        elif op == ">":
+            emit(negated_vars, negated_bools, -bound - 1)
+        elif op == "=":
+            emit(var_terms, bool_terms, bound)
+            emit(negated_vars, negated_bools, -bound)
+        elif op == "!=":
+            # Disjunctive split: (expr <= bound-1) or (expr >= bound+1),
+            # chosen by two fresh literals tied to the theory atom.
+            below = init.solver.new_var()
+            above = init.solver.new_var()
+            init.add_clause([-lit, below, above])
+            self._constraints.append(
+                LinearConstraint(below, tuple(var_terms), tuple(bool_terms), bound - 1)
+            )
+            self._constraints.append(
+                LinearConstraint(
+                    above, tuple(negated_vars), tuple(negated_bools), -bound - 1
+                )
+            )
+            for constraint in self._constraints[-2:]:
+                self._check_difference_like(constraint, atom)
+        else:
+            raise TheoryError(f"unsupported guard operator {op!r} in {atom}")
+
+    @staticmethod
+    def _check_difference_like(
+        constraint: LinearConstraint, atom: GroundTheoryAtom
+    ) -> None:
+        coefs = sorted(c for c, _v in constraint.var_terms)
+        ok = (
+            coefs in ([], [1], [-1], [-1, 1])
+        )
+        if not ok:
+            raise TheoryError(
+                f"constraint from {atom} is not difference-like "
+                f"(coefficients {coefs}); bounds propagation would be "
+                f"incomplete — rewrite the encoding"
+            )
+
+    def _condition_literal(self, condition, init: PropagatorInit):
+        """Solver literal for an element condition.
+
+        Returns ``True`` for conditions that hold unconditionally, ``None``
+        for impossible ones, a literal otherwise (an auxiliary conjunction
+        variable when the condition has several literals).
+        """
+        lits = []
+        for sign, atom in condition:
+            lit = init.solver_literal(atom)
+            lit = -lit if sign else lit
+            if lit == init.true_lit:
+                continue
+            if lit == -init.true_lit:
+                return None
+            lits.append(lit)
+        if not lits:
+            return True
+        if len(lits) == 1:
+            return lits[0]
+        aux = init.solver.new_var()
+        for lit in lits:
+            init.add_clause([-aux, lit])
+        init.add_clause([aux] + [-lit for lit in lits])
+        return aux
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+
+    def propagate(self, solver: Solver, changes: Sequence[int]) -> bool:
+        queue: deque = deque()
+        queued: Set[int] = set()
+        for lit in changes:
+            for index in self._by_lit.get(lit, ()):
+                if index not in queued:
+                    queued.add(index)
+                    queue.append(index)
+        return self._fixpoint(solver, queue, queued)
+
+    def check(self, solver: Solver) -> bool:
+        queue = deque(range(len(self._constraints)))
+        return self._fixpoint(solver, queue, set(queue))
+
+    def undo(self, solver: Solver, level: int) -> None:
+        self.store.undo(level)
+
+    #: Safety cap on constraint re-evaluations per fixpoint: a positive
+    #: cycle over unbounded (&dom-less) variables would otherwise loop
+    #: for ~2^40 iterations instead of failing fast.
+    MAX_FIXPOINT_STEPS = 200_000
+
+    def _fixpoint(self, solver: Solver, queue: deque, queued: Set[int]) -> bool:
+        steps = 0
+        while queue:
+            steps += 1
+            if steps > self.MAX_FIXPOINT_STEPS:
+                raise RuntimeError(
+                    "linear propagation did not converge; declare &dom "
+                    "intervals for all theory variables"
+                )
+            index = queue.popleft()
+            queued.discard(index)
+            constraint = self._constraints[index]
+            if solver.value(constraint.condition) is not True:
+                continue
+            changed_vars = self._propagate_constraint(solver, constraint)
+            if changed_vars is None:
+                self.theory_conflicts += 1
+                return False
+            for var in changed_vars:
+                for other in self._by_var.get(var, ()):
+                    if other not in queued:
+                        queued.add(other)
+                        queue.append(other)
+        return True
+
+    def _propagate_constraint(
+        self, solver: Solver, constraint: LinearConstraint
+    ) -> Optional[List[int]]:
+        """Propagate one active constraint; None signals a conflict."""
+        store = self.store
+        level = solver.decision_level
+        min_sum = 0
+        base_expl: List[int] = [constraint.condition]
+        for coef, var in constraint.var_terms:
+            if coef > 0:
+                min_sum += coef * store.lb(var)
+                base_expl.extend(store.lb_reason(var))
+            else:
+                min_sum += coef * store.ub(var)
+                base_expl.extend(store.ub_reason(var))
+        unassigned_bools: List[Tuple[int, int]] = []
+        values = solver._values  # hot loop: avoid per-literal method calls
+        for weight, lit in constraint.bool_terms:
+            signed = values[lit] if lit > 0 else -values[-lit]
+            if weight > 0:
+                if signed > 0:
+                    min_sum += weight
+                    base_expl.append(lit)
+                elif signed == 0:
+                    unassigned_bools.append((weight, lit))
+            else:
+                if signed < 0:
+                    base_expl.append(-lit)
+                else:
+                    min_sum += weight
+                    if signed == 0:
+                        unassigned_bools.append((weight, lit))
+        slack = constraint.bound - min_sum
+        if slack < 0:
+            solver.add_propagator_clause(
+                [-lit for lit in dict.fromkeys(base_expl)]
+            )
+            return None
+
+        changed: List[int] = []
+        # Tighten variable bounds.
+        for coef, var in constraint.var_terms:
+            if coef > 0:
+                new_ub = store.lb(var) + slack // coef
+                if new_ub < store.ub(var):
+                    self.bound_updates += 1
+                    store.set_ub(var, new_ub, tuple(dict.fromkeys(base_expl)), level)
+                    changed.append(var)
+                    if store.is_empty(var):
+                        expl = list(store.lb_reason(var)) + list(store.ub_reason(var))
+                        solver.add_propagator_clause(
+                            [-lit for lit in dict.fromkeys(expl)]
+                        )
+                        return None
+            else:
+                new_lb = store.ub(var) - slack // (-coef)
+                if new_lb > store.lb(var):
+                    self.bound_updates += 1
+                    store.set_lb(var, new_lb, tuple(dict.fromkeys(base_expl)), level)
+                    changed.append(var)
+                    if store.is_empty(var):
+                        expl = list(store.lb_reason(var)) + list(store.ub_reason(var))
+                        solver.add_propagator_clause(
+                            [-lit for lit in dict.fromkeys(expl)]
+                        )
+                        return None
+        # Force Boolean terms that would overflow the slack.
+        for weight, lit in unassigned_bools:
+            if weight > 0 and weight > slack:
+                self.theory_propagations += 1
+                ok = solver.add_propagator_clause(
+                    [-l for l in dict.fromkeys(base_expl)] + [-lit]
+                )
+                if not ok:
+                    return None
+            elif weight < 0 and slack + weight < 0:
+                # Falsifying `lit` would drop the (negative) weight from the
+                # sum and overflow the bound, so `lit` must hold.
+                self.theory_propagations += 1
+                ok = solver.add_propagator_clause(
+                    [-l for l in dict.fromkeys(base_expl)] + [lit]
+                )
+                if not ok:
+                    return None
+        return changed
+
+    # ------------------------------------------------------------------
+    # Introspection / models
+    # ------------------------------------------------------------------
+
+    def bounds(self, name: Symbol) -> Tuple[int, int]:
+        var = self.store.var(name)
+        if var is None:
+            raise KeyError(f"unknown theory variable {name}")
+        return self.store.lb(var), self.store.ub(var)
+
+    def lower_bound(self, name: Symbol) -> Tuple[int, Tuple[int, ...]]:
+        """Lower bound with its explanation (for objectives/dominance)."""
+        var = self.store.var(name)
+        if var is None:
+            raise KeyError(f"unknown theory variable {name}")
+        return self.store.lb(var), self.store.lb_reason(var)
+
+    def model_values(self, solver: Solver) -> Dict[str, object]:
+        """On a total assignment, each variable's lower bound is a witness."""
+        assignment = {
+            self.store.name(v): self.store.lb(v) for v in self.store
+        }
+        return {"ints": assignment}

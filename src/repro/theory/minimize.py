@@ -1,0 +1,82 @@
+"""Single-objective minimization of a theory variable.
+
+The DATE 2017 predecessor paper optimizes one linear objective (e.g. the
+makespan) with ASPmT branch and bound; this module packages that loop:
+
+.. code-block:: python
+
+    ctl = Control()
+    linear = LinearPropagator()
+    ctl.add(program)
+    ctl.register_propagator(linear)
+    optimum, model = minimize_theory_variable(ctl, linear, Function("makespan"))
+
+The bound is enforced by an :class:`repro.dse.explorer.
+ObjectiveBoundPropagator` (registered automatically, so call this
+*before* ``ctl.ground()`` has been invoked); pruning clauses carry an
+activation literal and the optimality proof runs under that assumption,
+leaving the control usable afterwards.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.asp.control import Control, Model
+from repro.asp.syntax import Symbol
+from repro.synthesis.encoding import ObjectiveSpec
+from repro.theory.linear import LinearPropagator
+
+__all__ = ["minimize_theory_variable"]
+
+
+def minimize_theory_variable(
+    control: Control,
+    linear: LinearPropagator,
+    variable: Symbol,
+    conflict_limit: Optional[int] = None,
+) -> Tuple[Optional[int], Optional[Model]]:
+    """Minimize the theory variable ``variable`` by branch and bound.
+
+    Must be called on a control that has *not* been grounded yet (the
+    bound propagator needs to register).  Returns ``(optimum, model)``,
+    or ``(None, None)`` when the program is unsatisfiable (or the budget
+    ran out before the first model).
+    """
+    from repro.dse.explorer import ObjectiveBoundPropagator
+
+    spec = ObjectiveSpec(str(variable), "var", variable=variable)
+    bound = ObjectiveBoundPropagator((spec,), linear)
+    control.register_propagator(bound)
+    control.ground()
+    control.conflict_limit = conflict_limit
+
+    solver = control.solver
+    activation = solver.new_var()
+    bound.activation = activation
+
+    incumbent: Optional[int] = None
+    best_model: Optional[Model] = None
+
+    def on_model(model: Model) -> bool:
+        nonlocal incumbent, best_model
+        incumbent = model.theory["objectives"][str(variable)]
+        best_model = model
+        return False  # one model per descent step
+
+    while True:
+        summary = control.solve(
+            on_model=on_model,
+            models=1,
+            block=False,
+            assumption_literals=[activation],
+        )
+        if summary.interrupted:
+            break
+        if not summary.satisfiable:
+            break
+        assert incumbent is not None
+        bound.bounds[str(variable)] = incumbent - 1
+    if incumbent is None:
+        return None, None
+    return incumbent, best_model

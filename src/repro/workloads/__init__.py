@@ -1,0 +1,36 @@
+"""Synthetic benchmark instances (the paper's workload substitute).
+
+The original evaluation uses the authors' in-house specification
+generator (series-parallel task graphs mapped onto heterogeneous NoC
+platforms).  That generator and its instances are not public, so this
+module provides a seeded equivalent: layered series-parallel application
+DAGs, heterogeneous mesh/bus/ring platforms, and per-option WCET/energy
+tables derived from deterministic tile classes.  Instance *parameters*
+(task counts, mapping densities, platform sizes) follow the published
+instance table; see DESIGN.md for the substitution rationale.
+"""
+
+from repro.workloads.generator import (
+    NamedInstance,
+    WorkloadConfig,
+    generate_application,
+    generate_specification,
+    suite,
+    SUITES,
+)
+from repro.workloads.curated import CURATED_NAMES, curated, curated_instances
+from repro.workloads.tgff import parse_tgff, to_specification
+
+__all__ = [
+    "CURATED_NAMES",
+    "NamedInstance",
+    "SUITES",
+    "WorkloadConfig",
+    "curated",
+    "curated_instances",
+    "generate_application",
+    "generate_specification",
+    "parse_tgff",
+    "suite",
+    "to_specification",
+]

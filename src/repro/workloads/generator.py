@@ -1,0 +1,194 @@
+"""Seeded instance generator: applications, mappings, named suites."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.synthesis.model import (
+    Application,
+    Architecture,
+    MappingOption,
+    Message,
+    Specification,
+    Task,
+)
+from repro.synthesis.platforms import TILE_CLASSES, bus, mesh, ring
+
+__all__ = [
+    "WorkloadConfig",
+    "NamedInstance",
+    "generate_application",
+    "generate_specification",
+    "suite",
+    "SUITES",
+]
+
+#: Tile classes indexed by their (unique) allocation cost, so the factors
+#: can be recovered from an Architecture's resources.
+_FACTORS_BY_COST: Dict[int, Tuple[int, int]] = {
+    cost: (wcet_factor, energy_factor)
+    for _name, cost, wcet_factor, energy_factor in TILE_CLASSES
+}
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of one synthetic instance."""
+
+    tasks: int = 6
+    seed: int = 0
+    platform: str = "mesh"  # "mesh" | "bus" | "ring"
+    platform_size: Tuple[int, int] = (2, 2)  # mesh: (cols, rows); others: (n, -)
+    options_per_task: Tuple[int, int] = (2, 3)  # inclusive range
+    message_probability: float = 0.5
+    max_message_size: int = 3
+
+    def name(self) -> str:
+        if self.platform == "mesh":
+            size = f"{self.platform_size[0]}x{self.platform_size[1]}"
+        else:
+            size = str(self.platform_size[0])
+        return f"{self.platform}{size}_t{self.tasks}_s{self.seed}"
+
+
+@dataclass(frozen=True)
+class NamedInstance:
+    """A generated instance plus its provenance."""
+
+    name: str
+    config: WorkloadConfig
+    specification: Specification
+
+
+def generate_application(
+    tasks: int, seed: int, message_probability: float = 0.5, max_size: int = 3
+) -> Application:
+    """A layered (series-parallel-like) DAG with ``tasks`` tasks.
+
+    Tasks are distributed over layers; every non-source task depends on
+    at least one task of an earlier layer, with extra edges added with
+    ``message_probability``.  Deterministic in ``seed``.
+    """
+    if tasks < 1:
+        raise ValueError("need at least one task")
+    rng = random.Random(f"app-{seed}")
+    names = [f"t{i}" for i in range(tasks)]
+    layer_count = max(1, min(tasks, max(2, (tasks + 2) // 3)))
+    layers: List[List[str]] = [[] for _ in range(layer_count)]
+    # One task per layer first, so every instance with >= 2 tasks has
+    # genuine dependencies (and therefore routing/scheduling work).
+    for index, name in enumerate(names[:layer_count]):
+        layers[index].append(name)
+    for name in names[layer_count:]:
+        layers[rng.randrange(layer_count)].append(name)
+    layers = [layer for layer in layers if layer]
+
+    messages: List[Message] = []
+    counter = 0
+
+    def add_message(src: str, tgt: str) -> None:
+        nonlocal counter
+        messages.append(
+            Message(f"m{counter}", src, tgt, size=rng.randint(1, max_size))
+        )
+        counter += 1
+
+    for depth in range(1, len(layers)):
+        earlier = [name for layer in layers[:depth] for name in layer]
+        for name in layers[depth]:
+            add_message(rng.choice(earlier), name)
+            for candidate in earlier:
+                existing = {(m.source, m.target) for m in messages}
+                if (candidate, name) in existing:
+                    continue
+                if rng.random() < message_probability / len(earlier):
+                    add_message(candidate, name)
+    return Application(
+        tuple(Task(name) for name in names), tuple(messages)
+    )
+
+
+def _build_platform(config: WorkloadConfig) -> Architecture:
+    if config.platform == "mesh":
+        cols, rows = config.platform_size
+        return mesh(cols, rows, seed=config.seed)
+    if config.platform == "bus":
+        return bus(config.platform_size[0], seed=config.seed)
+    if config.platform == "ring":
+        return ring(config.platform_size[0], seed=config.seed)
+    raise ValueError(f"unknown platform {config.platform!r}")
+
+
+def generate_specification(config: WorkloadConfig) -> Specification:
+    """A full synthesis instance from ``config`` (deterministic)."""
+    application = generate_application(
+        config.tasks,
+        config.seed,
+        config.message_probability,
+        config.max_message_size,
+    )
+    architecture = _build_platform(config)
+    rng = random.Random(f"map-{config.seed}")
+    processing = [
+        resource
+        for resource in architecture.resources
+        if resource.cost in _FACTORS_BY_COST
+    ]
+    if not processing:
+        raise ValueError("platform has no processing elements")
+    lo, hi = config.options_per_task
+    mappings: List[MappingOption] = []
+    for task in application.tasks:
+        nominal_wcet = rng.randint(2, 6)
+        nominal_energy = rng.randint(2, 6)
+        count = min(len(processing), rng.randint(lo, hi))
+        chosen = rng.sample(processing, count)
+        for resource in chosen:
+            wcet_factor, energy_factor = _FACTORS_BY_COST[resource.cost]
+            mappings.append(
+                MappingOption(
+                    task.name,
+                    resource.name,
+                    wcet=max(1, nominal_wcet * wcet_factor // 100),
+                    energy=max(1, nominal_energy * energy_factor // 100),
+                )
+            )
+    return Specification(application, architecture, tuple(mappings))
+
+
+#: The named suites of the reconstructed instance table (Table I).
+SUITES: Dict[str, Tuple[WorkloadConfig, ...]] = {
+    "tiny": tuple(
+        WorkloadConfig(tasks=t, seed=s, platform="mesh", platform_size=(2, 2))
+        for t, s in [(3, 0), (4, 1), (4, 2)]
+    ),
+    "small": tuple(
+        WorkloadConfig(tasks=t, seed=s, platform="mesh", platform_size=(2, 2))
+        for t, s in [(4, 0), (5, 1), (6, 2), (6, 3)]
+    ),
+    "medium": tuple(
+        WorkloadConfig(tasks=t, seed=s, platform="mesh", platform_size=(3, 2))
+        for t, s in [(8, 0), (9, 1), (10, 2), (12, 3)]
+    ),
+    "large": tuple(
+        WorkloadConfig(tasks=t, seed=s, platform="mesh", platform_size=(3, 3))
+        for t, s in [(14, 0), (16, 1), (18, 2), (20, 3)]
+    ),
+    "bus": tuple(
+        WorkloadConfig(tasks=t, seed=s, platform="bus", platform_size=(4, 0))
+        for t, s in [(5, 0), (7, 1)]
+    ),
+}
+
+
+def suite(name: str) -> List[NamedInstance]:
+    """Instantiate a named suite (deterministic)."""
+    configs = SUITES.get(name)
+    if configs is None:
+        raise KeyError(f"unknown suite {name!r}; have {sorted(SUITES)}")
+    return [
+        NamedInstance(config.name(), config, generate_specification(config))
+        for config in configs
+    ]

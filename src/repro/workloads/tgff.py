@@ -1,0 +1,287 @@
+"""TGFF-style benchmark import.
+
+TGFF ("Task Graphs For Free", Dick/Rhodes/Wolf) is the de-facto standard
+generator for embedded-systems benchmarks and the usual source of the
+task graphs in this paper series.  This module parses the subset of the
+TGFF output format that carries synthesis-relevant data and converts it
+into a :class:`repro.synthesis.model.Specification`.
+
+Supported dialect (matching TGFF's default output closely enough that
+hand-written or simply post-processed files load directly)::
+
+    @TASK_GRAPH 0 {
+        PERIOD 300
+        TASK t0_0  TYPE 2
+        TASK t0_1  TYPE 3
+        ARC a0_0   FROM t0_0 TO t0_1 TYPE 1
+    }
+
+    @PE 0 {
+    # price
+        70
+    # type  exec_time  energy
+        2   50  12
+        3   60  9
+    }
+
+* every ``@TASK_GRAPH`` block contributes its tasks and arcs (several
+  blocks are merged; task names must be globally unique, as TGFF emits),
+* ``TASK ... TYPE k`` selects row ``k`` of the PE tables,
+* ``ARC ... TYPE s`` sets the message size to ``s`` (minimum 1),
+* each ``@PE`` block is one processing element: first bare number is the
+  allocation price, following rows are ``type exec_time [energy]``
+  (energy defaults to the exec time: slower implies more energy),
+* a task is mappable on a PE iff the PE's table has a row for its type.
+
+The platform interconnect is not part of TGFF; :func:`to_specification`
+places the PEs on a bus, ring or mesh.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.synthesis.model import (
+    Application,
+    Architecture,
+    Link,
+    MappingOption,
+    Message,
+    Specification,
+    Task,
+)
+
+__all__ = ["TgffError", "TgffModel", "TgffPe", "parse_tgff", "to_specification"]
+
+
+class TgffError(ValueError):
+    """Raised on malformed TGFF input."""
+
+
+@dataclass
+class TgffPe:
+    """One processing element: allocation price + per-type execution table."""
+
+    name: str
+    price: int
+    #: type id -> (exec_time, energy)
+    table: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+
+
+@dataclass
+class TgffModel:
+    """The parsed file: merged task graphs plus PE tables."""
+
+    tasks: Dict[str, int] = field(default_factory=dict)  # name -> type
+    arcs: List[Tuple[str, str, str, int]] = field(default_factory=list)
+    pes: List[TgffPe] = field(default_factory=list)
+    periods: Dict[str, int] = field(default_factory=dict)  # graph name -> period
+    deadlines: Dict[str, int] = field(default_factory=dict)  # task -> hard deadline
+
+
+_BLOCK_RE = re.compile(r"@(\w+)\s+(\w+)\s*\{", re.MULTILINE)
+
+
+def _strip_comments(text: str) -> List[str]:
+    lines = []
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        lines.append(line)
+    return lines
+
+
+def parse_tgff(text: str) -> TgffModel:
+    """Parse TGFF text into a :class:`TgffModel`."""
+    model = TgffModel()
+    position = 0
+    for match in _BLOCK_RE.finditer(text):
+        kind = match.group(1).upper()
+        name = match.group(2)
+        end = text.find("}", match.end())
+        if end < 0:
+            raise TgffError(f"unterminated @{kind} {name} block")
+        body = text[match.end():end]
+        if kind == "TASK_GRAPH":
+            _parse_task_graph(model, name, body)
+        elif kind == "PE":
+            _parse_pe(model, name, body)
+        # Other blocks (@COMMUN, @WIRING, ...) are ignored.
+        position = end
+    if not model.tasks:
+        raise TgffError("no @TASK_GRAPH blocks with tasks found")
+    if not model.pes:
+        raise TgffError("no @PE blocks found")
+    return model
+
+
+def _parse_task_graph(model: TgffModel, graph: str, body: str) -> None:
+    for line in _strip_comments(body):
+        if not line:
+            continue
+        tokens = line.split()
+        keyword = tokens[0].upper()
+        if keyword == "PERIOD":
+            if len(tokens) != 2:
+                raise TgffError(f"malformed PERIOD line: {line!r}")
+            model.periods[graph] = int(tokens[1])
+        elif keyword == "TASK":
+            fields = _keyed(tokens[2:], line)
+            if tokens[1] in model.tasks:
+                raise TgffError(f"duplicate task {tokens[1]!r}")
+            model.tasks[tokens[1]] = int(fields.get("TYPE", "0"))
+        elif keyword == "ARC":
+            fields = _keyed(tokens[2:], line)
+            if "FROM" not in fields or "TO" not in fields:
+                raise TgffError(f"ARC needs FROM and TO: {line!r}")
+            model.arcs.append(
+                (
+                    tokens[1],
+                    fields["FROM"],
+                    fields["TO"],
+                    int(fields.get("TYPE", "1")),
+                )
+            )
+        elif keyword == "HARD_DEADLINE":
+            fields = _keyed(tokens[2:], line)
+            if "ON" in fields and "AT" in fields:
+                model.deadlines[fields["ON"]] = int(fields["AT"])
+        elif keyword == "SOFT_DEADLINE":
+            continue  # soft deadlines are advisory; not modeled
+        else:
+            raise TgffError(f"unknown task-graph line: {line!r}")
+
+
+def _keyed(tokens: Sequence[str], line: str) -> Dict[str, str]:
+    if len(tokens) % 2:
+        raise TgffError(f"odd key/value tokens in: {line!r}")
+    return {
+        tokens[i].upper(): tokens[i + 1] for i in range(0, len(tokens), 2)
+    }
+
+
+def _parse_pe(model: TgffModel, name: str, body: str) -> None:
+    pe = TgffPe(name=f"pe{name}" if name.isdigit() else name, price=0)
+    have_price = False
+    for line in _strip_comments(body):
+        if not line:
+            continue
+        tokens = line.split()
+        if not have_price:
+            if len(tokens) != 1:
+                raise TgffError(f"expected a bare price line, got {line!r}")
+            pe.price = int(float(tokens[0]))
+            have_price = True
+            continue
+        if len(tokens) not in (2, 3):
+            raise TgffError(f"PE table rows are 'type time [energy]': {line!r}")
+        type_id = int(tokens[0])
+        exec_time = int(float(tokens[1]))
+        energy = int(float(tokens[2])) if len(tokens) == 3 else exec_time
+        if exec_time <= 0:
+            raise TgffError(f"non-positive exec time in: {line!r}")
+        pe.table[type_id] = (exec_time, energy)
+    if not have_price:
+        raise TgffError(f"@PE {name} block has no price line")
+    model.pes.append(pe)
+
+
+def to_specification(
+    model: TgffModel,
+    platform: str = "bus",
+    link_delay: int = 1,
+    link_energy: int = 1,
+) -> Specification:
+    """Place the TGFF model on a platform (``bus``, ``ring`` or ``mesh``).
+
+    PEs become the processing resources (cost = TGFF price); the
+    interconnect is synthesized since TGFF does not model one.
+    """
+    tasks = tuple(
+        Task(name, deadline=model.deadlines.get(name)) for name in model.tasks
+    )
+    messages = tuple(
+        Message(arc, source, target, size=max(size, 1))
+        for arc, source, target, size in model.arcs
+    )
+    application = Application(tasks, messages)
+
+    resources = tuple(Resource_from_pe(pe) for pe in model.pes)
+    links = _platform_links(resources, platform, link_delay, link_energy)
+    architecture = Architecture(resources + links[1], links[0])
+
+    mappings: List[MappingOption] = []
+    for task_name, type_id in model.tasks.items():
+        for pe in model.pes:
+            row = pe.table.get(type_id)
+            if row is None:
+                continue
+            exec_time, energy = row
+            mappings.append(
+                MappingOption(task_name, _pe_resource_name(pe), exec_time, energy)
+            )
+    return Specification(application, architecture, tuple(mappings))
+
+
+def _pe_resource_name(pe: TgffPe) -> str:
+    return pe.name
+
+
+def Resource_from_pe(pe: TgffPe):
+    from repro.synthesis.model import Resource
+
+    return Resource(_pe_resource_name(pe), cost=pe.price)
+
+
+def _platform_links(
+    resources, platform: str, delay: int, energy: int
+) -> Tuple[Tuple[Link, ...], Tuple]:
+    """Links plus any extra infrastructure resources for the platform."""
+    from repro.synthesis.model import Resource
+
+    names = [r.name for r in resources]
+    if platform == "bus":
+        hub = Resource("bus", cost=1)
+        links = []
+        for name in names:
+            links.append(Link(f"l_{name}_up", name, "bus", delay=delay, energy=energy))
+            links.append(Link(f"l_{name}_dn", "bus", name, delay=delay, energy=energy))
+        return tuple(links), (hub,)
+    if platform == "ring":
+        links = tuple(
+            Link(
+                f"l_ring{i}",
+                names[i],
+                names[(i + 1) % len(names)],
+                delay=delay,
+                energy=energy,
+            )
+            for i in range(len(names))
+        )
+        return links, ()
+    if platform == "mesh":
+        import math
+
+        columns = max(1, int(math.ceil(math.sqrt(len(names)))))
+        links = []
+        for index, name in enumerate(names):
+            x, y = index % columns, index // columns
+            right = index + 1
+            down = index + columns
+            if x + 1 < columns and right < len(names):
+                links.append(
+                    Link(f"l_m{index}r", name, names[right], delay=delay, energy=energy)
+                )
+                links.append(
+                    Link(f"l_m{index}rb", names[right], name, delay=delay, energy=energy)
+                )
+            if down < len(names):
+                links.append(
+                    Link(f"l_m{index}d", name, names[down], delay=delay, energy=energy)
+                )
+                links.append(
+                    Link(f"l_m{index}db", names[down], name, delay=delay, energy=energy)
+                )
+        return tuple(links), ()
+    raise TgffError(f"unknown platform {platform!r}")

@@ -1,0 +1,98 @@
+"""Stateful cross-checking of the Pareto archives.
+
+Hypothesis drives random interleavings of insertions and dominance
+queries against three implementations at once — the linear scan, the
+quad-tree, and a set-based reference — asserting identical observable
+behaviour at every step.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.dse.approximation import EpsilonArchive
+from repro.dse.pareto import ListArchive, weakly_dominates
+from repro.dse.quadtree import QuadTreeArchive
+
+POINT = st.tuples(st.integers(0, 9), st.integers(0, 9), st.integers(0, 9))
+
+
+class _ReferenceArchive:
+    """Straight-from-definition archive over a plain set."""
+
+    def __init__(self):
+        self.points = set()
+
+    def find_weak_dominator(self, vector):
+        for point in self.points:
+            if weakly_dominates(point, vector):
+                return point
+        return None
+
+    def add(self, vector, payload):
+        if self.find_weak_dominator(vector) is not None:
+            return False
+        self.points = {
+            p for p in self.points if not weakly_dominates(vector, p)
+        }
+        self.points.add(tuple(vector))
+        return True
+
+
+class ArchiveMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.reference = _ReferenceArchive()
+        self.list_archive = ListArchive()
+        self.tree_archive = QuadTreeArchive()
+
+    @rule(point=POINT)
+    def add(self, point):
+        expected = self.reference.add(point, None)
+        assert self.list_archive.add(point, None) == expected
+        assert self.tree_archive.add(point, None) == expected
+
+    @rule(point=POINT)
+    def query(self, point):
+        expected = self.reference.find_weak_dominator(point) is not None
+        assert (self.list_archive.find_weak_dominator(point) is not None) == expected
+        assert (self.tree_archive.find_weak_dominator(point) is not None) == expected
+
+    @invariant()
+    def same_contents(self):
+        reference = sorted(self.reference.points)
+        assert sorted(self.list_archive.vectors()) == reference
+        assert sorted(self.tree_archive.vectors()) == reference
+        assert len(self.tree_archive) == len(reference)
+
+
+TestArchiveMachine = ArchiveMachine.TestCase
+TestArchiveMachine.settings = settings(
+    max_examples=50, stateful_step_count=40, deadline=None
+)
+
+
+class EpsilonArchiveMachine(RuleBasedStateMachine):
+    """The epsilon wrapper must relax queries by exactly epsilon."""
+
+    def __init__(self):
+        super().__init__()
+        self.epsilon = 2
+        self.reference = _ReferenceArchive()
+        self.wrapped = EpsilonArchive(self.epsilon, base=QuadTreeArchive())
+
+    @rule(point=POINT)
+    def add_if_not_eps_dominated(self, point):
+        shifted = tuple(x + self.epsilon for x in point)
+        expected_hit = self.reference.find_weak_dominator(shifted) is not None
+        got_hit = self.wrapped.find_weak_dominator(point) is not None
+        assert got_hit == expected_hit
+        if not got_hit:
+            self.reference.add(point, None)
+            assert self.wrapped.add(point, None)
+
+
+TestEpsilonArchiveMachine = EpsilonArchiveMachine.TestCase
+TestEpsilonArchiveMachine.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,167 @@
+"""Integration tests: parse -> ground -> translate -> solve (repro.asp.control)."""
+
+import pytest
+
+from repro.asp import Control
+from repro.asp.syntax import parse_term
+
+
+def solve_sets(text, **kwargs):
+    ctl = Control()
+    ctl.add(text)
+    ctl.ground()
+    out = []
+    ctl.solve(on_model=lambda m: out.append(frozenset(map(str, m.symbols))), models=0)
+    return sorted(out, key=sorted)
+
+
+class TestEnumeration:
+    def test_single_fact_program(self):
+        assert solve_sets("a.") == [frozenset({"a"})]
+
+    def test_free_choice(self):
+        sets = solve_sets("{a; b}.")
+        assert len(sets) == 4
+
+    def test_exactly_one(self):
+        sets = solve_sets("r(1..3). 1 { pick(X) : r(X) } 1.")
+        picks = sorted(s & {"pick(1)", "pick(2)", "pick(3)"} for s in sets)
+        assert len(sets) == 3
+        assert all(len(p) == 1 for p in picks)
+
+    def test_constraint_prunes(self):
+        sets = solve_sets("{a; b}. :- a, b.")
+        assert len(sets) == 3
+
+    def test_unsat(self):
+        ctl = Control()
+        ctl.add("a. :- a.")
+        ctl.ground()
+        summary = ctl.solve()
+        assert not summary.satisfiable
+        assert summary.exhausted
+
+    def test_model_limit(self):
+        ctl = Control()
+        ctl.add("{a; b; c}.")
+        ctl.ground()
+        summary = ctl.solve(models=3)
+        assert summary.models == 3
+        assert not summary.exhausted
+
+    def test_on_model_early_stop(self):
+        ctl = Control()
+        ctl.add("{a; b; c}.")
+        ctl.ground()
+        seen = []
+        ctl.solve(on_model=lambda m: (seen.append(m), False)[1], models=0)
+        assert len(seen) == 1
+
+    def test_resumable_enumeration(self):
+        ctl = Control()
+        ctl.add("{a; b}.")
+        ctl.ground()
+        first = ctl.solve(models=1)
+        rest = ctl.solve(models=0)
+        assert first.models + rest.models == 4
+
+
+class TestSemantics:
+    def test_negative_recursion_two_sets(self):
+        sets = solve_sets("a :- not b. b :- not a.")
+        assert sets == [frozenset({"a"}), frozenset({"b"})]
+
+    def test_positive_loop_unfounded(self):
+        sets = solve_sets("a :- b. b :- a.")
+        assert sets == [frozenset()]
+
+    def test_loop_with_external_support(self):
+        sets = solve_sets("{c}. a :- b. b :- a. a :- c.")
+        assert sorted(map(sorted, sets)) == [[], ["a", "b", "c"]]
+
+    def test_odd_loop_unsat(self):
+        assert solve_sets("a :- not b. b :- not c. c :- not a.") == []
+
+    def test_reachability_constraint(self):
+        sets = solve_sets(
+            """
+            node(1..3).
+            { edge(X, Y) } :- node(X), node(Y), X < Y.
+            reach(1).
+            reach(Y) :- reach(X), edge(X, Y).
+            :- node(X), not reach(X).
+            """
+        )
+        # Edges available: 12, 13, 23; node 2 needs edge 12; node 3 needs
+        # 13 or (12 and 23).  Valid subsets: {12,13}, {12,23}, {12,13,23}.
+        assert len(sets) == 3
+
+    def test_aggregate_guard(self):
+        sets = solve_sets("{a; b; c}. :- #count { 1 : a ; 2 : b ; 3 : c } != 2.")
+        assert len(sets) == 3
+
+    def test_sum_with_negative_weight(self):
+        sets = solve_sets("{a; b}. ok :- #sum { 2 : a ; -1 : b } >= 1. :- not ok.")
+        # a alone: 2 >= 1 ok; a+b: 1 >= 1 ok; b alone: -1 no; empty: 0 no.
+        assert len(sets) == 2
+
+
+class TestAssumptions:
+    def test_assumed_atom(self):
+        ctl = Control()
+        ctl.add("{a}. b :- a.")
+        ctl.ground()
+        a = parse_term("a")
+        got = []
+        ctl.solve(
+            on_model=lambda m: got.append(set(map(str, m.symbols))),
+            models=0,
+            assumptions=[(a, True)],
+        )
+        assert got == [{"a", "b"}]
+
+    def test_assumption_false(self):
+        ctl = Control()
+        ctl.add("{a}.")
+        ctl.ground()
+        a = parse_term("a")
+        got = []
+        ctl.solve(
+            on_model=lambda m: got.append(set(map(str, m.symbols))),
+            models=0,
+            assumptions=[(a, False)],
+        )
+        assert got == [set()]
+
+
+class TestModelAPI:
+    def test_atoms_of(self):
+        ctl = Control()
+        ctl.add("p(1). p(2). q(3).")
+        ctl.ground()
+        models = []
+        ctl.solve(on_model=models.append)
+        assert len(models[0].atoms_of("p", 1)) == 2
+
+    def test_contains(self):
+        ctl = Control()
+        ctl.add("p(1).")
+        ctl.ground()
+        models = []
+        ctl.solve(on_model=models.append)
+        assert models[0].contains(parse_term("p(1)"))
+        assert not models[0].contains(parse_term("p(2)"))
+
+    def test_add_after_ground_rejected(self):
+        ctl = Control()
+        ctl.add("a.")
+        ctl.ground()
+        with pytest.raises(RuntimeError):
+            ctl.add("b.")
+
+    def test_statistics_exposed(self):
+        ctl = Control()
+        ctl.add("{a; b; c}. :- a, b. :- b, c. :- a, c.")
+        ctl.ground()
+        ctl.solve(models=0)
+        assert ctl.statistics.decisions >= 0

@@ -1,0 +1,85 @@
+"""Miscellaneous Control lifecycle/error-path tests."""
+
+import pytest
+
+from repro.asp import Control
+from repro.asp.syntax import parse_term
+
+
+class TestLifecycle:
+    def test_solve_before_ground(self):
+        ctl = Control()
+        ctl.add("a.")
+        with pytest.raises(RuntimeError):
+            ctl.solve()
+
+    def test_ground_twice_rejected(self):
+        ctl = Control()
+        ctl.add("a.")
+        ctl.ground()
+        with pytest.raises(RuntimeError, match="multi-shot"):
+            ctl.ground()
+
+    def test_translation_access_before_ground(self):
+        with pytest.raises(RuntimeError):
+            Control().translation
+
+    def test_ground_program_access(self):
+        ctl = Control()
+        ctl.add("a. b :- a.")
+        ctl.ground()
+        assert ctl.ground_program.is_tight
+
+    def test_empty_program_has_one_model(self):
+        ctl = Control()
+        ctl.add("")
+        ctl.ground()
+        summary = ctl.solve(models=0)
+        assert summary.models == 1
+
+    def test_model_numbers_increase(self):
+        ctl = Control()
+        ctl.add("{a; b}.")
+        ctl.ground()
+        numbers = []
+        ctl.solve(on_model=lambda m: numbers.append(m.number), models=0)
+        assert numbers == sorted(numbers)
+        assert len(set(numbers)) == len(numbers)
+
+    def test_conflict_limit_surfaces_in_summary(self):
+        ctl = Control()
+        n = 5
+        ctl.add(
+            " ".join(f"hole({h})." for h in range(n))
+            + " "
+            + " ".join(f"pigeon({p})." for p in range(n + 1))
+            + """
+            1 { at(P, H) : hole(H) } 1 :- pigeon(P).
+            :- at(P1, H), at(P2, H), P1 < P2.
+            """
+        )
+        ctl.ground()
+        ctl.conflict_limit = 2
+        summary = ctl.solve()
+        assert summary.interrupted
+        assert not summary.exhausted
+
+
+class TestModelSnapshot:
+    def test_symbols_are_sorted(self):
+        ctl = Control()
+        ctl.add("b. a. c.")
+        ctl.ground()
+        captured = []
+        ctl.solve(on_model=captured.append)
+        symbols = [str(s) for s in captured[0].symbols]
+        assert symbols == sorted(symbols)
+
+    def test_model_survives_after_solve(self):
+        # The snapshot must stay valid after the solver backtracked.
+        ctl = Control()
+        ctl.add("{a}. :- not a.")
+        ctl.ground()
+        captured = []
+        ctl.solve(on_model=captured.append, models=0)
+        assert captured[0].contains(parse_term("a"))

@@ -1,0 +1,80 @@
+"""Regression corpus: canonical programs with hand-written answer sets.
+
+Each ``tests/corpus/NN_name.lp`` has a companion ``.expected`` file: one
+line per answer set (space-separated atoms, blank line = empty set), or
+the single line ``UNSAT``.  The corpus pins the language semantics
+end-to-end — parser, grounder, translation, solving, projection — in a
+form that is easy to extend and easy to diff against clingo.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.asp import Control
+from repro.asp.naive import naive_answer_sets
+
+CORPUS = Path(__file__).resolve().parent / "corpus"
+PROGRAMS = sorted(CORPUS.glob("*.lp"))
+
+
+def read_expected(path: Path):
+    text = path.with_suffix(".expected").read_text()
+    lines = text.split("\n")
+    # Trailing newline produces one empty tail entry; an intentional empty
+    # model is a blank line elsewhere in the file.
+    if lines and lines[-1] == "":
+        lines = lines[:-1]
+    if lines == ["UNSAT"]:
+        return None
+    return sorted(
+        (frozenset(line.split()) for line in lines), key=lambda s: sorted(s)
+    )
+
+
+def solve_program(path: Path):
+    ctl = Control()
+    ctl.add(path.read_text())
+    ctl.ground()
+    models = []
+    ctl.solve(
+        on_model=lambda m: models.append(frozenset(str(s) for s in m.symbols)),
+        models=0,
+    )
+    if not models:
+        return None, ctl
+    return sorted(models, key=lambda s: sorted(s)), ctl
+
+
+@pytest.mark.parametrize("program", PROGRAMS, ids=lambda p: p.stem)
+def test_corpus_program(program):
+    expected = read_expected(program)
+    got, _ctl = solve_program(program)
+    if expected is None:
+        assert got is None, f"{program.stem}: expected UNSAT, got {got}"
+    else:
+        assert got is not None, f"{program.stem}: unexpectedly UNSAT"
+        assert got == expected, program.stem
+
+
+@pytest.mark.parametrize("program", PROGRAMS, ids=lambda p: p.stem)
+def test_corpus_against_naive_oracle(program):
+    """Where the oracle applies (no #show), the corpus must agree with it."""
+    text = program.read_text()
+    if "#show" in text:
+        pytest.skip("oracle has no projection support")
+    try:
+        oracle = naive_answer_sets(text)
+    except (NotImplementedError, ValueError):
+        pytest.skip("outside the oracle's fragment")
+    got, _ctl = solve_program(program)
+    oracle_sets = sorted(
+        (frozenset(str(a) for a in s) for s in oracle), key=lambda s: sorted(s)
+    )
+    assert (got or []) == oracle_sets
+
+
+def test_corpus_is_nonempty():
+    assert len(PROGRAMS) >= 14
+    for program in PROGRAMS:
+        assert program.with_suffix(".expected").exists(), program

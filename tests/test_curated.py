@@ -1,0 +1,50 @@
+"""Tests for the curated E3S-style instances."""
+
+import pytest
+
+from repro.baselines import exhaustive_front
+from repro.dse.explorer import explore
+from repro.synthesis.encoding import encode
+from repro.synthesis.solution import validate
+from repro.workloads.curated import CURATED_NAMES, curated, curated_instances
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("name", CURATED_NAMES)
+    def test_valid_specifications(self, name):
+        spec = curated(name)
+        assert spec.summary()["tasks"] == 6
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            curated("office_suite")
+
+    def test_instances_wrapper(self):
+        instances = curated_instances()
+        assert [i.name for i in instances] == list(CURATED_NAMES)
+
+    def test_domain_restrictions_respected(self):
+        # The monitor task is RISC-only in the telecom instance.
+        spec = curated("telecom_modem")
+        assert {o.resource for o in spec.options_of("monitor")} == {"risc"}
+
+
+class TestExploration:
+    @pytest.mark.parametrize("name", CURATED_NAMES)
+    def test_exact_front_nonempty_and_valid(self, name):
+        spec = curated(name)
+        result = explore(spec, conflict_limit=40_000)
+        assert result.front, name
+        assert not result.statistics.interrupted, name
+        for point in result.front:
+            assert validate(spec, point.implementation) == []
+
+    def test_consumer_front_matches_exhaustive(self):
+        spec = curated("consumer_jpeg")
+        truth = exhaustive_front(encode(spec, objectives=("latency", "cost")))
+        result = explore(spec, objectives=("latency", "cost"))
+        assert result.vectors() == truth.vectors()
+
+    def test_auto_engine_tradeoff_exists(self):
+        result = explore(curated("auto_engine"), objectives=("latency", "cost"))
+        assert len(result.front) >= 2  # cheap-slow vs. fast-expensive

@@ -1,0 +1,118 @@
+"""Tests for per-task hard deadlines."""
+
+import pytest
+
+from repro.asp import Control
+from repro.dse.explorer import explore
+from repro.synthesis.encoding import encode
+from repro.synthesis.io import specification_from_dict, specification_to_dict
+from repro.synthesis.model import (
+    Application,
+    Architecture,
+    Link,
+    MappingOption,
+    Message,
+    Resource,
+    Specification,
+    SpecificationError,
+    Task,
+)
+from repro.theory.linear import LinearPropagator
+
+
+def chain_spec(deadline=None):
+    """a -> b with a fast/expensive and slow/cheap option for each."""
+    app = Application(
+        tasks=(Task("a"), Task("b", deadline=deadline)),
+        messages=(Message("m", "a", "b", size=1),),
+    )
+    arch = Architecture(
+        resources=(Resource("fast", cost=9), Resource("slow", cost=2)),
+        links=(
+            Link("fs", "fast", "slow", delay=1, energy=1),
+            Link("sf", "slow", "fast", delay=1, energy=1),
+        ),
+    )
+    mappings = (
+        MappingOption("a", "fast", wcet=1, energy=5),
+        MappingOption("a", "slow", wcet=4, energy=1),
+        MappingOption("b", "fast", wcet=1, energy=5),
+        MappingOption("b", "slow", wcet=4, energy=1),
+    )
+    return Specification(app, arch, mappings)
+
+
+class TestModel:
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(SpecificationError):
+            Task("t", deadline=0)
+
+    def test_deadline_optional(self):
+        assert Task("t").deadline is None
+
+
+class TestEncoding:
+    def count_models(self, spec):
+        instance = encode(spec)
+        ctl = Control()
+        ctl.add(instance.program)
+        ctl.register_propagator(LinearPropagator())
+        ctl.ground()
+        return ctl.solve(models=0).models
+
+    def test_deadline_prunes_slow_designs(self):
+        unconstrained = self.count_models(chain_spec())
+        tight = self.count_models(chain_spec(deadline=3))
+        assert tight < unconstrained
+        assert tight >= 1  # all-fast design: a ends at 1, b at 2or3
+
+    def test_impossible_deadline_unsat(self):
+        assert self.count_models(chain_spec(deadline=1)) == 0
+
+    def test_front_respects_deadline(self):
+        result = explore(chain_spec(deadline=3), objectives=("energy", "cost"))
+        assert result.front
+        for point in result.front:
+            impl = point.implementation
+            finish = impl.schedule["b"] + 1  # only fast binding survives
+            assert impl.binding["b"] == "fast"
+            assert finish <= 3
+
+
+class TestValidator:
+    def test_deadline_violation_reported(self):
+        from repro.synthesis.solution import Implementation, validate
+
+        spec = chain_spec(deadline=3)
+        impl = Implementation(
+            binding={"a": "slow", "b": "slow"},
+            routes={"m": []},
+            schedule={"a": 0, "b": 4},
+        )
+        assert any("deadline" in p for p in validate(spec, impl))
+
+
+class TestIo:
+    def test_round_trip_with_deadline(self):
+        spec = chain_spec(deadline=5)
+        rebuilt = specification_from_dict(specification_to_dict(spec))
+        assert rebuilt == spec
+        assert rebuilt.application.task("b").deadline == 5
+
+
+class TestTgffDeadlines:
+    def test_hard_deadline_wired_through(self):
+        from repro.workloads.tgff import parse_tgff, to_specification
+
+        text = """
+        @TASK_GRAPH 0 {
+            TASK a TYPE 0
+            TASK b TYPE 0
+            ARC x FROM a TO b TYPE 1
+            HARD_DEADLINE d0 ON b AT 25
+        }
+        @PE 0 { 5\n 0 3 }
+        """
+        spec = to_specification(parse_tgff(text))
+        assert spec.application.task("b").deadline == 25
+        assert spec.application.task("a").deadline is None

@@ -1,0 +1,194 @@
+"""Tests for the ASPmT synthesis encoding (repro.synthesis.encoding)."""
+
+import pytest
+
+from repro.asp import Control
+from repro.synthesis.encoding import OBJECTIVES, encode
+from repro.synthesis.model import (
+    Application,
+    Architecture,
+    Link,
+    MappingOption,
+    Message,
+    Resource,
+    Specification,
+    Task,
+)
+from repro.synthesis.solution import decode_model, validate
+from repro.theory.linear import LinearPropagator
+
+
+def line_spec(hops=2):
+    """a -> b on a directed line of `hops`+1 resources."""
+    app = Application(
+        tasks=(Task("a"), Task("b")),
+        messages=(Message("m", "a", "b", size=1),),
+    )
+    resources = tuple(Resource(f"r{i}", cost=1) for i in range(hops + 1))
+    links = tuple(
+        Link(f"l{i}", f"r{i}", f"r{i+1}", delay=2, energy=3) for i in range(hops)
+    )
+    arch = Architecture(resources, links)
+    mappings = (
+        MappingOption("a", "r0", wcet=1, energy=1),
+        MappingOption("b", f"r{hops}", wcet=1, energy=1),
+    )
+    return Specification(app, arch, mappings)
+
+
+def solve_all(spec, **encode_kwargs):
+    instance = encode(spec, **encode_kwargs)
+    ctl = Control()
+    ctl.add(instance.program)
+    ctl.register_propagator(LinearPropagator())
+    ctl.ground()
+    implementations = []
+
+    def on_model(model):
+        impl = decode_model(spec, model)
+        problems = validate(spec, impl)
+        assert not problems, problems
+        implementations.append(impl)
+
+    summary = ctl.solve(on_model=on_model, models=0)
+    return summary, implementations
+
+
+class TestRouting:
+    def test_forced_route_along_line(self):
+        spec = line_spec(hops=3)
+        summary, impls = solve_all(spec)
+        assert summary.models == 1
+        assert impls[0].routes["m"] == ["l0", "l1", "l2"]
+
+    def test_same_resource_no_route(self):
+        app = Application(
+            tasks=(Task("a"), Task("b")), messages=(Message("m", "a", "b"),)
+        )
+        arch = Architecture(
+            (Resource("r0"), Resource("r1")),
+            (Link("f", "r0", "r1"), Link("b_", "r1", "r0")),
+        )
+        mappings = (
+            MappingOption("a", "r0", wcet=1, energy=1),
+            MappingOption("b", "r0", wcet=1, energy=1),
+        )
+        spec = Specification(app, arch, mappings)
+        summary, impls = solve_all(spec)
+        assert summary.models == 1
+        assert impls[0].routes["m"] == []
+
+    def test_unroutable_is_unsat(self):
+        # Only link points the wrong way.
+        app = Application(
+            tasks=(Task("a"), Task("b")), messages=(Message("m", "a", "b"),)
+        )
+        arch = Architecture(
+            (Resource("r0"), Resource("r1")), (Link("back", "r1", "r0"),)
+        )
+        mappings = (
+            MappingOption("a", "r0", wcet=1, energy=1),
+            MappingOption("b", "r1", wcet=1, energy=1),
+        )
+        spec = Specification(app, arch, mappings)
+        summary, _impls = solve_all(spec)
+        assert not summary.satisfiable
+
+    def test_parallel_paths_enumerated_as_simple_paths(self):
+        # Diamond: r0 -> r1 -> r3 and r0 -> r2 -> r3.
+        app = Application(
+            tasks=(Task("a"), Task("b")), messages=(Message("m", "a", "b"),)
+        )
+        resources = tuple(Resource(f"r{i}") for i in range(4))
+        links = (
+            Link("u1", "r0", "r1"), Link("u2", "r1", "r3"),
+            Link("d1", "r0", "r2"), Link("d2", "r2", "r3"),
+        )
+        arch = Architecture(resources, links)
+        mappings = (
+            MappingOption("a", "r0", wcet=1, energy=1),
+            MappingOption("b", "r3", wcet=1, energy=1),
+        )
+        spec = Specification(app, arch, mappings)
+        summary, impls = solve_all(spec)
+        routes = sorted(tuple(i.routes["m"]) for i in impls)
+        assert routes == [("d1", "d2"), ("u1", "u2")]
+
+
+class TestScheduling:
+    def test_latency_includes_route_delay(self):
+        spec = line_spec(hops=2)  # 2 hops x delay 2 + wcet 1 + wcet 1
+        summary, impls = solve_all(spec)
+        assert impls[0].objectives["latency"] == 1 + 2 * 2 + 1
+
+    def test_message_size_scales_delay(self):
+        spec = line_spec(hops=1)
+        app = spec.application
+        bigger = Specification(
+            Application(app.tasks, (Message("m", "a", "b", size=3),)),
+            spec.architecture,
+            spec.mappings,
+        )
+        _summary, impls = solve_all(bigger)
+        assert impls[0].objectives["latency"] == 1 + 3 * 2 + 1
+
+    def test_serialization_orders_shared_resource(self):
+        app = Application(tasks=(Task("a"), Task("b")), messages=())
+        arch = Architecture((Resource("r0"),), ())
+        mappings = (
+            MappingOption("a", "r0", wcet=3, energy=1),
+            MappingOption("b", "r0", wcet=2, energy=1),
+        )
+        spec = Specification(app, arch, mappings)
+        instance = encode(spec, serialize=True)
+        ctl = Control()
+        lp = LinearPropagator()
+        ctl.add(instance.program)
+        ctl.register_propagator(lp)
+        ctl.ground()
+        starts = []
+
+        def on_model(model):
+            ints = model.theory["ints"]
+            values = {str(k): v for k, v in ints.items()}
+            starts.append((values["start(a)"], values["start(b)"]))
+
+        summary = ctl.solve(on_model=on_model, models=0)
+        assert summary.satisfiable
+        for sa, sb in starts:
+            assert sa + 3 <= sb or sb + 2 <= sa
+
+
+class TestObjectives:
+    def test_objective_specs_present(self):
+        instance = encode(line_spec())
+        assert tuple(o.name for o in instance.objectives) == OBJECTIVES
+
+    def test_energy_terms_cover_bindings_and_routes(self):
+        instance = encode(line_spec(hops=1))
+        energy = instance.objective("energy")
+        atoms = {str(atom) for _w, atom in energy.terms}
+        assert "bind(a,r0)" in atoms
+        assert "route(m,l0)" in atoms
+
+    def test_cost_terms_skip_free_resources(self):
+        spec = line_spec()
+        instance = encode(spec)
+        cost = instance.objective("cost")
+        assert all(weight > 0 for weight, _atom in cost.terms)
+
+    def test_subset_of_objectives(self):
+        instance = encode(line_spec(), objectives=("energy", "cost"))
+        assert [o.name for o in instance.objectives] == ["energy", "cost"]
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(ValueError):
+            encode(line_spec(), objectives=("latency", "throughput"))
+
+    def test_max_values_bound_reachable_values(self):
+        spec = line_spec()
+        instance = encode(spec)
+        _summary, impls = solve_all(spec)
+        for impl in impls:
+            for objective in instance.objectives:
+                assert impl.objectives[objective.name] <= objective.max_value

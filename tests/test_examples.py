@@ -1,0 +1,56 @@
+"""Smoke tests: every shipped example must run end to end.
+
+The examples double as integration tests of the public API; each main()
+is executed in-process with stdout captured (keeping them fast is part
+of their design contract).
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_expected_examples_present():
+    assert {
+        "quickstart",
+        "noc_video_pipeline",
+        "automotive_bus",
+        "custom_aspmt",
+        "tgff_import",
+    } <= set(EXAMPLES)
+
+
+def test_quickstart_reports_front(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "Pareto front" in out
+    assert "binding" in out
+
+
+def test_tgff_reports_period_check(capsys):
+    load_example("tgff_import").main()
+    out = capsys.readouterr().out
+    assert "meeting the TGFF period" in out

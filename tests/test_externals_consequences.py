@@ -1,0 +1,104 @@
+"""Tests for #external atoms and brave/cautious consequences."""
+
+import pytest
+
+from repro.asp import Control
+from repro.asp.naive import naive_answer_sets
+from repro.asp.syntax import parse_term
+
+
+def fresh(text):
+    ctl = Control()
+    ctl.add(text)
+    ctl.ground()
+    return ctl
+
+
+class TestExternals:
+    def test_default_false(self):
+        ctl = fresh("#external e. a :- e.")
+        captured = []
+        ctl.solve(on_model=captured.append, models=0)
+        assert len(captured) == 1
+        assert not captured[0].contains(parse_term("e"))
+
+    def test_assign_true(self):
+        ctl = fresh("#external e. a :- e.")
+        ctl.assign_external(parse_term("e"), True)
+        captured = []
+        ctl.solve(on_model=captured.append, models=0)
+        assert captured[0].contains(parse_term("a"))
+
+    def test_reassignment_between_solves(self):
+        ctl = fresh("#external e. a :- e.")
+        ctl.assign_external(parse_term("e"), True)
+        first = []
+        ctl.solve(on_model=first.append, block=False)
+        ctl.assign_external(parse_term("e"), False)
+        second = []
+        ctl.solve(on_model=second.append, block=False)
+        assert first[0].contains(parse_term("a"))
+        assert not second[0].contains(parse_term("a"))
+
+    def test_freed_external_enumerated(self):
+        ctl = fresh("#external e.")
+        ctl.assign_external(parse_term("e"), None)
+        summary = ctl.solve(models=0)
+        assert summary.models == 2
+
+    def test_external_with_domain(self):
+        ctl = fresh("n(1..2). #external e(X) : n(X). a :- e(1).")
+        atoms = ctl.external_atoms()
+        assert [str(a) for a in atoms] == ["e(1)", "e(2)"]
+        ctl.assign_external(parse_term("e(1)"), True)
+        captured = []
+        ctl.solve(on_model=captured.append)
+        assert captured[0].contains(parse_term("a"))
+        assert not captured[0].contains(parse_term("e(2)"))
+
+    def test_undeclared_atom_rejected(self):
+        ctl = fresh("#external e. b.")
+        with pytest.raises(ValueError):
+            ctl.assign_external(parse_term("b"), True)
+
+    def test_external_unsat_when_forced(self):
+        ctl = fresh("#external e. :- e.")
+        ctl.assign_external(parse_term("e"), True)
+        assert not ctl.solve().satisfiable
+        # Still satisfiable once released.
+        ctl.assign_external(parse_term("e"), False)
+        assert ctl.solve().satisfiable
+
+
+class TestConsequences:
+    def brave_cautious_oracle(self, text):
+        answer_sets = naive_answer_sets(text)
+        if not answer_sets:
+            return None, None
+        brave = set().union(*answer_sets)
+        cautious = set(answer_sets[0]).intersection(*answer_sets)
+        return sorted(brave), sorted(cautious)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "{a; b}. c :- a.",
+            "a :- not b. b :- not a.",
+            "x. {y}. z :- y. :- z, not x.",
+            "{p; q}. :- p, q. r :- p. r :- q.",
+        ],
+    )
+    def test_matches_oracle(self, text):
+        brave_want, cautious_want = self.brave_cautious_oracle(text)
+        assert fresh(text).consequences("brave") == brave_want
+        assert fresh(text).consequences("cautious") == cautious_want
+
+    def test_unsat_returns_none(self):
+        assert fresh("a. :- a.").consequences("brave") is None
+
+    def test_facts_always_included(self):
+        assert parse_term("f") in fresh("f. {a}.").consequences("cautious")
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            fresh("a.").consequences("bold")

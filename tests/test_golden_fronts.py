@@ -1,0 +1,75 @@
+"""Golden-front regression tests.
+
+The generator, the encoding and the whole solving stack are
+deterministic, so the exact Pareto fronts of the fixed suites are stable
+artifacts.  Any change to these values means either the workloads or the
+semantics changed — both must be deliberate (update the goldens together
+with DESIGN/EXPERIMENTS if so).
+"""
+
+import pytest
+
+from repro.dse.explorer import explore
+from repro.workloads import suite
+
+GOLDEN_FRONTS = {
+    # (latency, energy, cost) vectors, sorted.
+    "mesh2x2_t3_s0": [(6, 23, 20), (11, 20, 10), (12, 14, 10), (13, 7, 2)],
+    "mesh2x2_t4_s1": [
+        (8, 20, 14),
+        (8, 27, 12),
+        (10, 18, 12),
+        (10, 22, 10),
+        (12, 11, 2),
+    ],
+    "mesh2x2_t4_s2": [(9, 26, 10), (14, 21, 10), (16, 12, 2)],
+    "mesh2x2_t4_s0": [(6, 22, 22), (6, 26, 20), (10, 19, 10), (13, 14, 10)],
+    "mesh2x2_t5_s1": [(9, 20, 6), (13, 14, 2)],
+    "mesh2x2_t6_s2": [
+        (8, 43, 10),
+        (9, 37, 12),
+        (11, 33, 10),
+        (14, 29, 12),
+        (16, 27, 12),
+        (18, 20, 4),
+    ],
+    "mesh2x2_t6_s3": [
+        (5, 42, 20),
+        (6, 36, 24),
+        (7, 33, 28),
+        (8, 34, 12),
+        (10, 31, 16),
+        (12, 29, 16),
+    ],
+    "bus4_t5_s0": [(9, 34, 21), (12, 21, 10)],
+    "bus4_t7_s1": [
+        (10, 37, 15),
+        (10, 45, 13),
+        (11, 36, 15),
+        (13, 22, 10),
+        (14, 23, 9),
+        (16, 22, 5),
+    ],
+}
+
+
+def _instances():
+    for name in ("tiny", "small", "bus"):
+        yield from suite(name)
+
+
+@pytest.mark.parametrize(
+    "instance", list(_instances()), ids=lambda inst: inst.name
+)
+def test_golden_front(instance):
+    assert instance.name in GOLDEN_FRONTS, (
+        f"new suite instance {instance.name}: add its front to the goldens"
+    )
+    result = explore(instance.specification)
+    assert result.vectors() == GOLDEN_FRONTS[instance.name]
+    assert not result.statistics.interrupted
+
+
+def test_goldens_cover_exactly_the_suites():
+    names = {instance.name for instance in _instances()}
+    assert names == set(GOLDEN_FRONTS)

@@ -1,0 +1,204 @@
+"""Unit tests for the grounder (repro.asp.grounder)."""
+
+import pytest
+
+from repro.asp.grounder import (
+    GroundChoice,
+    GroundTheoryAtom,
+    Grounder,
+    GroundingError,
+    TheoryTermOp,
+    evaluate_comparison,
+    evaluate_term,
+    ground_program,
+)
+from repro.asp.parser import parse_program
+from repro.asp.syntax import Function, Number
+
+
+def ground(text: str):
+    return ground_program(parse_program(text))
+
+
+def atom(text: str) -> Function:
+    from repro.asp.syntax import parse_term
+
+    value = parse_term(text)
+    assert isinstance(value, Function)
+    return value
+
+
+class TestFacts:
+    def test_plain_facts(self):
+        rules, possible, facts = ground("p(1). p(2).")
+        assert atom("p(1)") in facts
+        assert atom("p(2)") in facts
+        assert len(rules) == 2
+
+    def test_interval_facts(self):
+        _rules, _possible, facts = ground("n(1..4).")
+        assert {atom(f"n({i})") for i in range(1, 5)} <= facts
+
+    def test_const_substitution(self):
+        _rules, _possible, facts = ground("#const k = 3. n(1..k).")
+        assert atom("n(3)") in facts
+        assert atom("n(4)") not in facts
+
+
+class TestJoin:
+    def test_cartesian(self):
+        _rules, possible, _facts = ground("p(1). p(2). q(a). r(X, Y) :- p(X), q(Y).")
+        assert atom("r(1,a)") in possible
+        assert atom("r(2,a)") in possible
+
+    def test_shared_variable(self):
+        _rules, possible, _facts = ground("p(1). p(2). q(2). r(X) :- p(X), q(X).")
+        assert atom("r(2)") in possible
+        assert atom("r(1)") not in possible
+
+    def test_arithmetic_in_head(self):
+        _rules, possible, _facts = ground("p(3). q(X + 1) :- p(X).")
+        assert atom("q(4)") in possible
+
+    def test_arithmetic_match_requires_bound(self):
+        # X+1 is evaluable only after X is bound by p(X); reordering handles it.
+        _rules, possible, _facts = ground("p(2). q(3). r(X) :- q(X + 1), p(X).")
+        assert atom("r(2)") in possible
+
+    def test_comparison_filtering(self):
+        _rules, possible, _facts = ground("p(1..5). q(X) :- p(X), X >= 4.")
+        assert atom("q(4)") in possible
+        assert atom("q(3)") not in possible
+
+    def test_recursion(self):
+        _rules, possible, _facts = ground(
+            "e(1,2). e(2,3). e(3,4). r(1). r(Y) :- r(X), e(X,Y)."
+        )
+        assert atom("r(4)") in possible
+
+
+class TestNegationSimplification:
+    def test_negative_over_impossible_dropped(self):
+        rules, _possible, facts = ground("a :- not b.")
+        # b can never hold, so `a` becomes a fact.
+        assert atom("a") in facts
+
+    def test_negative_over_fact_drops_rule(self):
+        _rules, possible, _facts = ground("b. a :- not b.")
+        assert atom("a") not in possible
+
+    def test_negative_recursion_kept(self):
+        rules, possible, _facts = ground("a :- not b. b :- not a.")
+        assert atom("a") in possible and atom("b") in possible
+        bodies = {tuple(r.body) for r in rules}
+        assert ((1, atom("b")),) in bodies
+        assert ((1, atom("a")),) in bodies
+
+
+class TestChoiceGrounding:
+    def test_elements_expanded(self):
+        rules, possible, _facts = ground("r(a). r(b). { bind(R) : r(R) }.")
+        choice_rules = [r for r in rules if isinstance(r.head, GroundChoice)]
+        assert len(choice_rules) == 1
+        atoms = {str(a) for a, _c in choice_rules[0].head.elements}
+        assert atoms == {"bind(a)", "bind(b)"}
+
+    def test_bounds_evaluated(self):
+        rules, _possible, _facts = ground("n(1..3). 1 { s(X) : n(X) } 2.")
+        choice = next(r.head for r in rules if isinstance(r.head, GroundChoice))
+        assert choice.lower == 1 and choice.upper == 2
+
+    def test_body_instantiation(self):
+        rules, possible, _facts = ground("t(x). t(y). { on(T) } :- t(T).")
+        assert atom("on(x)") in possible and atom("on(y)") in possible
+
+
+class TestAggregates:
+    def test_set_semantics_groups_tuples(self):
+        rules, _possible, _facts = ground(
+            "p(1, a). p(1, b). r :- #sum { W : p(W, _) } >= 2."
+        )
+        # Both instances share the tuple (1,); weight 1 counted once, so the
+        # aggregate is decided false and `r` is never derivable.
+        assert atom("r") not in _possible
+
+    def test_distinct_tuples_counted(self):
+        _rules, possible, _facts = ground(
+            "p(1, a). p(1, b). r :- #sum { W, X : p(W, X) } >= 2."
+        )
+        assert atom("r") in possible
+
+    def test_trivially_true_aggregate_simplified(self):
+        rules, _possible, facts = ground("q(1). q(2). r :- #count { X : q(X) } >= 2.")
+        assert atom("r") in facts
+
+    def test_recursive_aggregate_rejected(self):
+        with pytest.raises(GroundingError):
+            ground("p(1). a(X) :- p(X), #count { Y : a(Y) } < 1.")
+
+
+class TestTheoryAtomGrounding:
+    def test_diff_atom_structure(self):
+        rules, _possible, _facts = ground(
+            "dep(t1, t2, 5). &diff { s(B) - s(A) } >= D :- dep(A, B, D)."
+        )
+        theory = [r.head for r in rules if isinstance(r.head, GroundTheoryAtom)]
+        assert len(theory) == 1
+        ((terms, _cond),) = theory[0].elements
+        op = terms[0]
+        assert isinstance(op, TheoryTermOp)
+        assert op.op == "-"
+        assert theory[0].guard == (">=", Number(5))
+
+    def test_sum_elements_with_condition(self):
+        rules, possible, _facts = ground(
+            """
+            m(t, r, 3). { b(T, R) } :- m(T, R, _).
+            &sum(energy) { E, T, R : b(T, R), m(T, R, E) } <= 9.
+            """
+        )
+        theory = [r.head for r in rules if isinstance(r.head, GroundTheoryAtom)]
+        assert len(theory) == 1
+        ((terms, condition),) = theory[0].elements
+        assert terms[0] == Number(3)
+        assert condition == ((0, atom("b(t,r)")),)
+
+
+class TestEvaluation:
+    def test_division_truncates_toward_zero(self):
+        from repro.asp import ast
+
+        term = ast.BinaryTerm(
+            "/", ast.SymbolTerm(Number(-7)), ast.SymbolTerm(Number(2))
+        )
+        assert evaluate_term(term, {}) == Number(-3)
+
+    def test_modulo(self):
+        from repro.asp import ast
+
+        term = ast.BinaryTerm(
+            "\\", ast.SymbolTerm(Number(7)), ast.SymbolTerm(Number(3))
+        )
+        assert evaluate_term(term, {}) == Number(1)
+
+    def test_division_by_zero_is_undefined(self):
+        from repro.asp import ast
+
+        term = ast.BinaryTerm(
+            "/", ast.SymbolTerm(Number(1)), ast.SymbolTerm(Number(0))
+        )
+        assert evaluate_term(term, {}) is None
+
+    def test_comparison_total_order(self):
+        assert evaluate_comparison("<", Number(1), Function("a"))
+        assert evaluate_comparison(">=", Function("b"), Function("a"))
+
+
+class TestSafety:
+    def test_unsafe_rule_raises(self):
+        with pytest.raises(GroundingError):
+            ground("p(X) :- not q(X).")
+
+    def test_unsafe_comparison_raises(self):
+        with pytest.raises(GroundingError):
+            ground("a :- X > 1.")

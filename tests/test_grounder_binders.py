@@ -1,0 +1,117 @@
+"""Tests for assignment binders (``X = term``) and ``!=`` theory guards."""
+
+import pytest
+
+from repro.asp import Control
+from repro.asp.grounder import GroundingError
+from repro.theory.linear import LinearPropagator
+
+
+def solve_sets(text, propagators=()):
+    ctl = Control()
+    ctl.add(text)
+    for p in propagators:
+        ctl.register_propagator(p)
+    ctl.ground()
+    out = []
+    ctl.solve(on_model=lambda m: out.append(frozenset(map(str, m.symbols))), models=0)
+    return sorted(out, key=sorted)
+
+
+class TestBinders:
+    def test_interval_binder(self):
+        (model,) = solve_sets("p(X) :- X = 1..3.")
+        assert {"p(1)", "p(2)", "p(3)"} <= model
+
+    def test_arithmetic_binder(self):
+        (model,) = solve_sets("q(2). q(5). p(Y) :- q(X), Y = X * 2.")
+        assert {"p(4)", "p(10)"} <= model
+
+    def test_binder_right_side_variable(self):
+        (model,) = solve_sets("p(Y) :- 7 = Y.")
+        assert "p(7)" in model
+
+    def test_binder_as_equality_test_when_bound(self):
+        (model,) = solve_sets("q(1). q(2). p(X) :- q(X), X = 1.")
+        assert "p(1)" in model
+        assert "p(2)" not in model
+
+    def test_binder_chain(self):
+        (model,) = solve_sets("p(Z) :- X = 2, Y = X + 1, Z = Y * Y.")
+        assert "p(9)" in model
+
+    def test_binder_in_condition(self):
+        sets = solve_sets("{ sel(X) : X = 1..2 }.")
+        assert len(sets) == 4
+
+    def test_binder_with_function_value(self):
+        (model,) = solve_sets("p(P) :- q(A), P = pair(A, A). q(1).")
+        assert "p(pair(1,1))" in model
+
+    def test_unbound_comparison_still_rejected(self):
+        with pytest.raises(GroundingError):
+            solve_sets("p :- X > 1.")
+
+
+class TestNotEqualGuard:
+    def test_variable_avoids_value(self):
+        ctl = Control()
+        ctl.add("&dom { 0..2 } = x. &sum { x } != 1.")
+        lp = LinearPropagator()
+        ctl.register_propagator(lp)
+        ctl.ground()
+        values = []
+        ctl.solve(
+            on_model=lambda m: values.append(
+                {str(k): v for k, v in m.theory["ints"].items()}["x"]
+            ),
+            models=0,
+        )
+        assert values
+        assert all(v != 1 for v in values)
+
+    def test_unsat_when_only_value_excluded(self):
+        ctl = Control()
+        ctl.add("&dom { 5..5 } = x. &sum { x } != 5.")
+        ctl.register_propagator(LinearPropagator())
+        ctl.ground()
+        assert not ctl.solve().satisfiable
+
+    def test_difference_not_equal(self):
+        ctl = Control()
+        ctl.add(
+            """
+            &dom { 0..3 } = a. &dom { 0..3 } = b.
+            &sum { a - b } != 0.
+            """
+        )
+        lp = LinearPropagator()
+        ctl.register_propagator(lp)
+        ctl.ground()
+        captured = []
+        ctl.solve(
+            on_model=lambda m: captured.append(
+                {str(k): v for k, v in m.theory["ints"].items()}
+            )
+        )
+        assert captured
+        assert captured[0]["a"] != captured[0]["b"]
+
+    def test_conditional_not_equal(self):
+        ctl = Control()
+        ctl.add(
+            """
+            {skew}. :- not skew.
+            &dom { 0..1 } = x.
+            &sum { x } != 0 :- skew.
+            """
+        )
+        ctl.register_propagator(LinearPropagator())
+        ctl.ground()
+        captured = []
+        ctl.solve(
+            on_model=lambda m: captured.append(
+                {str(k): v for k, v in m.theory["ints"].items()}["x"]
+            )
+        )
+        assert captured == [1]

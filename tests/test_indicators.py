@@ -1,0 +1,123 @@
+"""Tests for front quality indicators (hypervolume, epsilon, coverage)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse.indicators import additive_epsilon, front_coverage, hypervolume
+from repro.dse.pareto import pareto_filter
+
+
+def brute_force_hypervolume(front, reference):
+    """Count dominated integer cells (unit-grid Monte-Carlo-free oracle)."""
+    if not front:
+        return 0
+    lows = [min(p[i] for p in front) for i in range(len(reference))]
+    count = 0
+    ranges = [range(low, r) for low, r in zip(lows, reference)]
+    for cell in itertools.product(*ranges):
+        if any(all(p[i] <= cell[i] for i in range(len(cell))) for p in front):
+            count += 1
+    return count
+
+
+class TestHypervolume:
+    def test_single_point_2d(self):
+        assert hypervolume([(2, 3)], (10, 10)) == 8 * 7
+
+    def test_two_points_2d(self):
+        # (2,6) and (5,3) w.r.t. (10,10): 8*4 + 5*3 = 47... computed below.
+        assert hypervolume([(2, 6), (5, 3)], (10, 10)) == brute_force_hypervolume(
+            [(2, 6), (5, 3)], (10, 10)
+        )
+
+    def test_dominated_point_ignored(self):
+        assert hypervolume([(2, 3), (4, 5)], (10, 10)) == hypervolume(
+            [(2, 3)], (10, 10)
+        )
+
+    def test_point_outside_reference_ignored(self):
+        assert hypervolume([(12, 1)], (10, 10)) == 0.0
+
+    def test_empty_front(self):
+        assert hypervolume([], (5, 5)) == 0.0
+
+    def test_single_point_3d(self):
+        assert hypervolume([(1, 1, 1)], (3, 4, 5)) == 2 * 3 * 4
+
+    def test_1d(self):
+        assert hypervolume([(3,), (7,)], (10,)) == 7
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 6), st.integers(0, 6)),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_matches_brute_force_2d(self, points):
+        reference = (8, 8)
+        assert hypervolume(points, reference) == brute_force_hypervolume(
+            points, reference
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 4), st.integers(0, 4)),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_matches_brute_force_3d(self, points):
+        reference = (6, 6, 6)
+        assert hypervolume(points, reference) == brute_force_hypervolume(
+            points, reference
+        )
+
+    def test_monotone_in_front(self):
+        base = [(3, 3)]
+        extended = [(3, 3), (1, 5)]
+        assert hypervolume(extended, (8, 8)) >= hypervolume(base, (8, 8))
+
+
+class TestAdditiveEpsilon:
+    def test_identical_fronts(self):
+        front = [(1, 5), (3, 3)]
+        assert additive_epsilon(front, front) == 0
+
+    def test_shifted_by_constant(self):
+        reference = [(1, 5), (3, 3)]
+        shifted = [(3, 7), (5, 5)]
+        assert additive_epsilon(shifted, reference) == 2
+
+    def test_superset_is_zero(self):
+        reference = [(2, 2)]
+        approx = [(2, 2), (0, 9)]
+        assert additive_epsilon(approx, reference) == 0
+
+    def test_never_negative(self):
+        # Approximation strictly better than the reference (only possible
+        # when the "reference" is not actually optimal).
+        assert additive_epsilon([(0, 0)], [(5, 5)]) == 0
+
+    def test_empty_reference(self):
+        assert additive_epsilon([(1, 1)], []) == 0
+
+    def test_empty_approximation_rejected(self):
+        with pytest.raises(ValueError):
+            additive_epsilon([], [(1, 1)])
+
+
+class TestCoverage:
+    def test_full(self):
+        assert front_coverage([(1, 2), (2, 1)], [(1, 2), (2, 1)]) == 1.0
+
+    def test_half(self):
+        assert front_coverage([(1, 2)], [(1, 2), (2, 1)]) == 0.5
+
+    def test_extra_points_do_not_help(self):
+        assert front_coverage([(9, 9)], [(1, 2)]) == 0.0

@@ -1,0 +1,98 @@
+"""Tests for #min/#max aggregates, incl. oracle cross-checks."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asp import Control
+from repro.asp.naive import naive_answer_sets
+
+
+def sets(text):
+    ctl = Control()
+    ctl.add(text)
+    ctl.ground()
+    out = []
+    ctl.solve(on_model=lambda m: out.append(frozenset(map(str, m.symbols))), models=0)
+    return sorted(out, key=sorted)
+
+
+class TestMin:
+    def test_min_le(self):
+        result = sets("{p(1); p(5)}. ok :- #min { X : p(X) } <= 2. :- not ok.")
+        # ok iff p(1) holds.
+        assert all("p(1)" in model for model in result)
+        assert len(result) == 2
+
+    def test_min_ge(self):
+        result = sets("{p(1); p(5)}. ok :- #min { X : p(X) } >= 3. :- not ok.")
+        # p(1) must be out; empty set is #sup >= 3 too.
+        assert all("p(1)" not in model for model in result)
+        assert len(result) == 2  # {} and {p(5)}
+
+    def test_min_empty_is_sup(self):
+        result = sets("{p(9)}. top :- #min { X : p(X) } > 100. :- not top.")
+        # Only the empty selection reaches #sup.
+        assert len(result) == 1
+        assert all("p(9)" not in model for model in result)
+
+    def test_min_equals(self):
+        result = sets("{p(2); p(4)}. hit :- #min { X : p(X) } = 2. :- not hit.")
+        assert all("p(2)" in model for model in result)
+        assert len(result) == 2
+
+
+class TestMax:
+    def test_max_ge(self):
+        result = sets("{p(1); p(5)}. big :- #max { X : p(X) } >= 4. :- not big.")
+        assert all("p(5)" in model for model in result)
+        assert len(result) == 2
+
+    def test_max_le(self):
+        result = sets("{p(1); p(5)}. low :- #max { X : p(X) } <= 3. :- not low.")
+        # p(5) excluded; empty set is #inf <= 3.
+        assert all("p(5)" not in model for model in result)
+        assert len(result) == 2
+
+    def test_max_empty_is_inf(self):
+        result = sets("{p(0)}. none :- #max { X : p(X) } < -100. :- not none.")
+        assert len(result) == 1
+        assert all("p(0)" not in model for model in result)
+
+    def test_left_guard(self):
+        result = sets("{p(3); p(7)}. mid :- 5 <= #max { X : p(X) }. :- not mid.")
+        assert all("p(7)" in model for model in result)
+
+
+class TestFactsInElements:
+    def test_unconditional_tuple_participates(self):
+        # p(4) is a fact: the minimum can never exceed 4.
+        result = sets("p(4). {p(9)}. lo :- #min { X : p(X) } <= 4. :- not lo.")
+        assert len(result) == 2
+
+
+ATOMS = ["a", "b", "c"]
+
+
+@st.composite
+def min_max_program(draw):
+    rules = ["{ " + "; ".join(ATOMS) + " }."]
+    weights = {atom: draw(st.integers(-3, 5)) for atom in ATOMS}
+    function = draw(st.sampled_from(["min", "max"]))
+    op = draw(st.sampled_from(["<=", "<", ">=", ">", "=", "!="]))
+    bound = draw(st.integers(-4, 6))
+    inner = "; ".join(f"{weights[a]},{a} : {a}" for a in ATOMS)
+    rules.append(f"x :- #{function} {{ {inner} }} {op} {bound}.")
+    if draw(st.booleans()):
+        rules.append(":- not x.")
+    return "\n".join(rules)
+
+
+@settings(max_examples=120, deadline=None)
+@given(min_max_program())
+def test_min_max_matches_naive_oracle(text):
+    got = sets(text)
+    want = sorted(
+        (frozenset(str(a) for a in s) for s in naive_answer_sets(text)),
+        key=sorted,
+    )
+    assert got == want, text

@@ -1,0 +1,193 @@
+"""Tests for #minimize/#maximize and Control.optimize.
+
+The oracle enumerates all answer sets with the naive brute-force checker
+and computes the lexicographically optimal cost vector directly.
+"""
+
+import pytest
+
+from repro.asp import Control
+from repro.asp.naive import naive_answer_sets
+from repro.asp.parser import parse_program
+from repro.asp.syntax import Function, Number
+
+
+def optimize(text):
+    ctl = Control()
+    ctl.add(text)
+    ctl.ground()
+    return ctl, ctl.optimize()
+
+
+def oracle_costs(program_text, weights_by_priority):
+    """Brute-force lexicographic optimum.
+
+    ``weights_by_priority``: {priority: [(weight, atom_name_or_None)]}
+    where None means an unconditional term.
+    """
+    answer_sets = naive_answer_sets(program_text)
+    assert answer_sets, "oracle needs a satisfiable program"
+
+    def cost(model, priority):
+        total = 0
+        for weight, atom in weights_by_priority.get(priority, []):
+            if atom is None or Function(atom) in model:
+                total += weight
+        return total
+
+    priorities = sorted(weights_by_priority, reverse=True)
+    best = min(
+        answer_sets, key=lambda m: tuple(cost(m, p) for p in priorities)
+    )
+    return tuple(cost(best, p) for p in priorities)
+
+
+class TestSingleLevel:
+    def test_minimize_count(self):
+        text = "{a; b; c}. :- not a, not b, not c. #minimize { 1,X : holds(X) }. holds(a) :- a. holds(b) :- b. holds(c) :- c."
+        _ctl, result = optimize(text)
+        assert result.satisfiable
+        assert result.costs == (1,)
+
+    def test_minimize_weights(self):
+        text = """
+        {a; b}. :- not a, not b.
+        #minimize { 3 : a ; 2 : b }.
+        """
+        _ctl, result = optimize(text)
+        assert result.costs == (2,)
+        assert not result.model.contains(Function("a"))
+
+    def test_maximize(self):
+        text = "{a; b}. #maximize { 2 : a ; 1 : b }."
+        _ctl, result = optimize(text)
+        # Maximization is minimization of negated weights: cost -3.
+        assert result.costs == (-3,)
+        assert result.model.contains(Function("a"))
+        assert result.model.contains(Function("b"))
+
+    def test_negative_weights(self):
+        text = "{a}. #minimize { -5 : a }."
+        _ctl, result = optimize(text)
+        assert result.costs == (-5,)
+        assert result.model.contains(Function("a"))
+
+    def test_unsatisfiable(self):
+        text = "a. :- a. #minimize { 1 : a }."
+        _ctl, result = optimize(text)
+        assert not result.satisfiable
+
+    def test_no_minimize_statement_rejected(self):
+        ctl = Control()
+        ctl.add("a.")
+        ctl.ground()
+        with pytest.raises(ValueError):
+            ctl.optimize()
+
+    def test_zero_optimum(self):
+        text = "{a}. #minimize { 4 : a }."
+        _ctl, result = optimize(text)
+        assert result.costs == (0,)
+
+
+class TestSetSemantics:
+    def test_duplicate_tuples_counted_once(self):
+        # Both statements contribute the same tuple (1,t); one is counted.
+        text = """
+        a.
+        #minimize { 1,t : a }.
+        #minimize { 1,t : a }.
+        """
+        _ctl, result = optimize(text)
+        assert result.costs == (1,)
+
+    def test_distinct_tuples_counted(self):
+        text = """
+        a.
+        #minimize { 1,t1 : a ; 1,t2 : a }.
+        """
+        _ctl, result = optimize(text)
+        assert result.costs == (2,)
+
+
+class TestPriorities:
+    def test_lexicographic(self):
+        # High priority prefers b; low priority would prefer a.
+        text = """
+        1 { a ; b } 1.
+        #minimize { 2@2 : a ; 1@2 : b }.
+        #minimize { 1@1 : b }.
+        """
+        _ctl, result = optimize(text)
+        assert result.costs == (1, 1)
+        assert result.model.contains(Function("b"))
+
+    def test_high_priority_dominates(self):
+        text = """
+        1 { a ; b } 1.
+        #minimize { 1@3 : a }.
+        #minimize { 100@1 : b }.
+        """
+        _ctl, result = optimize(text)
+        # Level 3 forces not-a, so level 1 must pay for b.
+        assert result.costs == (0, 100)
+
+    def test_matches_oracle(self):
+        text = """
+        {a; b; c}. :- a, b.
+        #minimize { 2@1 : a ; 3@1 : b ; 1@2 : c }.
+        """
+        _ctl, result = optimize(text)
+        want = oracle_costs(text, {1: [(2, "a"), (3, "b")], 2: [(1, "c")]})
+        assert result.costs == want
+
+
+class TestVariablesInMinimize:
+    def test_grounded_over_domain(self):
+        text = """
+        item(1..3). { pick(X) : item(X) }.
+        :- #count { X : pick(X) } < 2.
+        #minimize { X,X : pick(X) }.
+        """
+        _ctl, result = optimize(text)
+        assert result.costs == (3,)  # picks 1 and 2
+
+    def test_weight_from_fact(self):
+        text = """
+        w(a, 5). w(b, 1). 1 { sel(T) : w(T, _) } 1.
+        #minimize { W,T : sel(T), w(T, W) }.
+        """
+        _ctl, result = optimize(text)
+        assert result.costs == (1,)
+        assert result.model.contains(Function("sel", [Function("b")]))
+
+
+class TestBudgets:
+    def test_interrupted_optimize(self):
+        # A conflict-heavy program with a tiny budget: optimize reports
+        # interruption instead of claiming an optimum.
+        ctl = Control()
+        n = 5
+        holes = " ".join(f"hole({h})." for h in range(n))
+        pigeons = " ".join(f"pigeon({p})." for p in range(n + 1))
+        ctl.add(
+            f"""
+            {holes} {pigeons}
+            1 {{ at(P, H) : hole(H) }} 1 :- pigeon(P).
+            :- at(P1, H), at(P2, H), P1 < P2.
+            #minimize {{ 1, P : at(P, 0) }}.
+            """
+        )
+        ctl.ground()
+        ctl.conflict_limit = 3
+        result = ctl.optimize()
+        assert not result.satisfiable or result.interrupted
+
+    def test_optimize_after_enumeration_blocked_models(self):
+        # optimize() on a control whose models were partially enumerated
+        # still finds the optimum among the remaining models.
+        ctl = Control()
+        ctl.add("{a; b}. :- not a, not b. #minimize { 3 : a ; 1 : b }.")
+        ctl.ground()
+        result = ctl.optimize()
+        assert result.costs == (1,)

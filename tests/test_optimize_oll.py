@@ -1,0 +1,122 @@
+"""Tests for core-guided (OLL) optimization vs. branch and bound.
+
+Both strategies are exact, so on every program their cost vectors must
+agree; randomized programs (hypothesis) drive the comparison, and a few
+hand-written cases pin down the core-relaxation mechanics.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asp import Control
+from repro.asp.syntax import Function
+
+import pytest
+
+
+def optimize(text, strategy):
+    ctl = Control()
+    ctl.add(text)
+    ctl.ground()
+    return ctl.optimize(strategy=strategy)
+
+
+class TestOllBasics:
+    def test_simple_minimum(self):
+        text = "{a; b}. :- not a, not b. #minimize { 3 : a ; 2 : b }."
+        result = optimize(text, "oll")
+        assert result.costs == (2,)
+
+    def test_zero_cost(self):
+        result = optimize("{a}. #minimize { 5 : a }.", "oll")
+        assert result.costs == (0,)
+
+    def test_forced_cost(self):
+        result = optimize("a. #minimize { 7 : a }.", "oll")
+        assert result.costs == (7,)
+
+    def test_core_with_multiple_softs(self):
+        # Any model pays at least two of the three (pairwise constraints).
+        # Note the tag terms: "1 : a ; 1 : b" would be ONE tuple under
+        # clingo's set semantics.
+        text = """
+        1 { a ; b ; c } 3.
+        :- not a, not b.  :- not b, not c.  :- not a, not c.
+        #minimize { 1,a : a ; 1,b : b ; 1,c : c }.
+        """
+        result = optimize(text, "oll")
+        assert result.costs == (2,)
+
+    def test_duplicate_tuples_or_semantics(self):
+        # The tuple (1) counts once, iff a OR b holds (clingo semantics).
+        text = "1 { a ; b } 2. #minimize { 1 : a ; 1 : b }."
+        for strategy in ("bb", "oll"):
+            result = optimize(text, strategy)
+            assert result.costs == (1,), strategy
+
+    def test_weighted_core_splitting(self):
+        # Core {a, b} with different weights: OLL pays min and re-adds rest.
+        text = ":- not a, not b. {a; b}. #minimize { 5 : a ; 2 : b }."
+        result = optimize(text, "oll")
+        assert result.costs == (2,)
+
+    def test_unsatisfiable(self):
+        result = optimize("a. :- a. #minimize { 1 : a }.", "oll")
+        assert not result.satisfiable
+
+    def test_priorities(self):
+        text = """
+        1 { a ; b } 1.
+        #minimize { 1@2 : a }.
+        #minimize { 5@1 : b }.
+        """
+        result = optimize(text, "oll")
+        assert result.costs == (0, 5)
+
+    def test_unknown_strategy(self):
+        ctl = Control()
+        ctl.add("a. #minimize { 1 : a }.")
+        ctl.ground()
+        with pytest.raises(ValueError):
+            ctl.optimize(strategy="maxres")
+
+    def test_model_attains_costs(self):
+        text = "1 { a ; b ; c } 2. #minimize { 2 : a ; 3 : b ; 4 : c }."
+        result = optimize(text, "oll")
+        assert result.costs == (2,)
+        assert result.model.contains(Function("a"))
+        assert not result.model.contains(Function("b"))
+
+
+ATOMS = ["a", "b", "c", "d"]
+
+
+@st.composite
+def weighted_program(draw):
+    rules = []
+    n_choice = draw(st.integers(1, 2))
+    for _ in range(n_choice):
+        atoms = draw(st.lists(st.sampled_from(ATOMS), min_size=1, max_size=4, unique=True))
+        rules.append("{ " + "; ".join(atoms) + " }.")
+    for _ in range(draw(st.integers(0, 3))):
+        body = draw(st.lists(st.sampled_from(ATOMS), min_size=1, max_size=2, unique=True))
+        signs = [draw(st.booleans()) for _ in body]
+        lits = [("not " if s else "") + a for a, s in zip(body, signs)]
+        rules.append(":- " + ", ".join(lits) + ".")
+    terms = []
+    for atom in draw(st.lists(st.sampled_from(ATOMS), min_size=1, max_size=4, unique=True)):
+        weight = draw(st.integers(1, 5))
+        priority = draw(st.integers(1, 2))
+        terms.append(f"{weight}@{priority} : {atom}")
+    rules.append("#minimize { " + "; ".join(terms) + " }.")
+    return "\n".join(rules)
+
+
+@settings(max_examples=60, deadline=None)
+@given(weighted_program())
+def test_oll_matches_branch_and_bound(text):
+    bb = optimize(text, "bb")
+    oll = optimize(text, "oll")
+    assert bb.satisfiable == oll.satisfiable
+    if bb.satisfiable:
+        assert bb.costs == oll.costs, text

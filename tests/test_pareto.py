@@ -1,0 +1,144 @@
+"""Tests for dominance and the Pareto archives (list + quad-tree)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse.pareto import ListArchive, dominates, pareto_filter, weakly_dominates
+from repro.dse.quadtree import QuadTreeArchive
+
+
+class TestDominance:
+    def test_strict(self):
+        assert dominates((1, 2), (2, 3))
+        assert not dominates((2, 3), (1, 2))
+
+    def test_equal_not_strict(self):
+        assert weakly_dominates((1, 2), (1, 2))
+        assert not dominates((1, 2), (1, 2))
+
+    def test_incomparable(self):
+        assert not dominates((1, 3), (3, 1))
+        assert not dominates((3, 1), (1, 3))
+
+    def test_partial_improvement(self):
+        assert dominates((1, 2), (1, 3))
+
+
+class TestParetoFilter:
+    def test_filters_dominated(self):
+        points = [((1, 2), "a"), ((2, 1), "b"), ((2, 2), "c")]
+        assert [v for v, _ in pareto_filter(points)] == [(1, 2), (2, 1)]
+
+    def test_duplicates_collapse(self):
+        points = [((1, 1), "a"), ((1, 1), "b")]
+        assert len(pareto_filter(points)) == 1
+
+    def test_empty(self):
+        assert pareto_filter([]) == []
+
+
+ARCHIVES = [ListArchive, QuadTreeArchive]
+
+
+@pytest.mark.parametrize("archive_cls", ARCHIVES)
+class TestArchives:
+    def test_add_and_reject(self, archive_cls):
+        archive = archive_cls()
+        assert archive.add((2, 2), "a")
+        assert not archive.add((3, 3), "b")  # dominated
+        assert not archive.add((2, 2), "c")  # duplicate
+        assert archive.add((1, 3), "d")  # incomparable
+        assert len(archive) == 2
+
+    def test_eviction(self, archive_cls):
+        archive = archive_cls()
+        archive.add((3, 3), "a")
+        archive.add((4, 2), "b")
+        assert archive.add((2, 2), "c")  # dominates both
+        assert archive.vectors() == [(2, 2)]
+
+    def test_find_weak_dominator(self, archive_cls):
+        archive = archive_cls()
+        archive.add((2, 5), "a")
+        archive.add((5, 2), "b")
+        assert archive.find_weak_dominator((3, 6)) == (2, 5)
+        assert archive.find_weak_dominator((6, 3)) == (5, 2)
+        assert archive.find_weak_dominator((1, 1)) is None
+        assert archive.find_weak_dominator((2, 5)) == (2, 5)
+
+    def test_payloads_preserved(self, archive_cls):
+        archive = archive_cls()
+        archive.add((1, 4), "x")
+        archive.add((4, 1), "y")
+        assert dict(iter(archive)) == {(1, 4): "x", (4, 1): "y"}
+
+    def test_three_dimensions(self, archive_cls):
+        archive = archive_cls()
+        archive.add((1, 2, 3), "a")
+        archive.add((3, 2, 1), "b")
+        archive.add((2, 2, 2), "c")
+        assert len(archive) == 3
+        assert archive.find_weak_dominator((2, 3, 3)) == (1, 2, 3)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 8), st.integers(0, 8), st.integers(0, 8)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_archives_agree_with_reference(points):
+    """Both archives end up with exactly the non-dominated set, and their
+    accept/reject decisions agree step by step."""
+    list_archive = ListArchive()
+    tree_archive = QuadTreeArchive()
+    for i, point in enumerate(points):
+        added_list = list_archive.add(point, i)
+        added_tree = tree_archive.add(point, i)
+        assert added_list == added_tree, (point, list_archive.vectors())
+    reference = sorted(
+        v for v, _ in pareto_filter([(p, None) for p in points])
+    )
+    assert sorted(list_archive.vectors()) == reference
+    assert sorted(tree_archive.vectors()) == reference
+    assert len(tree_archive) == len(reference)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 20), st.integers(0, 20)),
+        min_size=1,
+        max_size=30,
+    ),
+    st.tuples(st.integers(0, 20), st.integers(0, 20)),
+)
+def test_quadtree_dominator_query_matches_list(points, probe):
+    list_archive = ListArchive()
+    tree_archive = QuadTreeArchive()
+    for i, point in enumerate(points):
+        list_archive.add(point, i)
+        tree_archive.add(point, i)
+    # Any weak dominator is acceptable; existence must agree.
+    from_list = list_archive.find_weak_dominator(probe)
+    from_tree = tree_archive.find_weak_dominator(probe)
+    assert (from_list is None) == (from_tree is None)
+    if from_tree is not None:
+        assert weakly_dominates(from_tree, probe)
+
+
+def test_archive_invariant_no_dominated_members():
+    archive = QuadTreeArchive()
+    import random
+
+    rng = random.Random(7)
+    for _ in range(200):
+        archive.add((rng.randint(0, 10), rng.randint(0, 10), rng.randint(0, 10)), None)
+    vectors = archive.vectors()
+    for a in vectors:
+        for b in vectors:
+            if a != b:
+                assert not weakly_dominates(a, b)

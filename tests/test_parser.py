@@ -1,0 +1,186 @@
+"""Unit tests for the ASP parser (repro.asp.parser)."""
+
+import pytest
+
+from repro.asp import ast
+from repro.asp.parser import ParseError, parse_program, tokenize
+
+
+def single_rule(text: str) -> ast.Rule:
+    program = parse_program(text)
+    assert len(program.rules) == 1
+    return program.rules[0]
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        kinds = [t.kind for t in tokenize("a :- b, not c.")]
+        assert kinds == ["IDENT", ":-", "IDENT", ",", "IDENT", "IDENT", ".", "EOF"]
+
+    def test_comments_skipped(self):
+        kinds = [t.kind for t in tokenize("a. % comment\nb.")]
+        assert kinds == ["IDENT", ".", "IDENT", ".", "EOF"]
+
+    def test_interval_token(self):
+        kinds = [t.kind for t in tokenize("1..3")]
+        assert kinds == ["NUMBER", "..", "NUMBER", "EOF"]
+
+    def test_line_numbers(self):
+        tokens = tokenize("a.\nb.")
+        assert tokens[2].line == 2
+
+    def test_garbage_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("a ~ b")
+
+
+class TestRules:
+    def test_fact(self):
+        rule = single_rule("p(1).")
+        assert isinstance(rule.head, ast.FunctionTerm)
+        assert rule.head.name == "p"
+        assert rule.body == ()
+
+    def test_normal_rule(self):
+        rule = single_rule("p(X) :- q(X), not r(X).")
+        assert len(rule.body) == 2
+        assert rule.body[0].sign == 0
+        assert rule.body[1].sign == 1
+
+    def test_double_negation_normalized(self):
+        rule = single_rule("p :- not not q.")
+        assert rule.body[0].sign == 0
+
+    def test_constraint(self):
+        rule = single_rule(":- p, q.")
+        assert rule.head is None
+        assert len(rule.body) == 2
+
+    def test_comparison(self):
+        rule = single_rule("p(X) :- q(X), X > 3.")
+        comparison = rule.body[1].atom
+        assert isinstance(comparison, ast.Comparison)
+        assert comparison.op == ">"
+
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            parse_program("p(1)")
+
+
+class TestTerms:
+    def test_arithmetic_precedence(self):
+        rule = single_rule("p(1+2*3).")
+        term = rule.head.arguments[0]
+        assert isinstance(term, ast.BinaryTerm)
+        assert term.op == "+"
+        assert isinstance(term.rhs, ast.BinaryTerm)
+        assert term.rhs.op == "*"
+
+    def test_power_right_associative(self):
+        rule = single_rule("p(2**3**2).")
+        term = rule.head.arguments[0]
+        assert term.op == "**"
+        assert isinstance(term.rhs, ast.BinaryTerm)
+
+    def test_interval(self):
+        rule = single_rule("p(1..4).")
+        assert isinstance(rule.head.arguments[0], ast.IntervalTerm)
+
+    def test_anonymous_variables_distinct(self):
+        rule = single_rule("p :- q(_, _).")
+        args = rule.body[0].atom.arguments
+        assert args[0] != args[1]
+
+    def test_unary_minus(self):
+        rule = single_rule("p(-X) :- q(X).")
+        assert isinstance(rule.head.arguments[0], ast.UnaryTerm)
+
+    def test_absolute_value(self):
+        rule = single_rule("p(|X-3|) :- q(X).")
+        term = rule.head.arguments[0]
+        assert isinstance(term, ast.UnaryTerm)
+        assert term.op == "|"
+
+
+class TestChoice:
+    def test_unbounded(self):
+        rule = single_rule("{ a; b }.")
+        head = rule.head
+        assert isinstance(head, ast.ChoiceHead)
+        assert head.lower is None and head.upper is None
+        assert len(head.elements) == 2
+
+    def test_bounds(self):
+        rule = single_rule("1 { bind(T, R) : res(R) } 1 :- task(T).")
+        head = rule.head
+        assert isinstance(head, ast.ChoiceHead)
+        assert head.lower is not None and head.upper is not None
+        assert head.elements[0].condition[0].atom.name == "res"
+
+    def test_lower_only(self):
+        rule = single_rule("2 { a; b; c }.")
+        assert rule.head.lower is not None
+        assert rule.head.upper is None
+
+
+class TestAggregates:
+    def test_count_with_right_guard(self):
+        rule = single_rule("p :- #count { X : q(X) } >= 2.")
+        aggregate = rule.body[0]
+        assert isinstance(aggregate, ast.Aggregate)
+        assert aggregate.function == "count"
+        assert aggregate.right_guard[0] == ">="
+
+    def test_left_guard_normalized(self):
+        rule = single_rule("p :- 2 <= #count { X : q(X) }.")
+        aggregate = rule.body[0]
+        # "2 <= agg" is normalized to "agg >= 2".
+        assert aggregate.left_guard[0] == ">="
+
+    def test_sum_with_weights(self):
+        rule = single_rule("p :- #sum { W, T : w(T, W) } <= 10.")
+        aggregate = rule.body[0]
+        assert aggregate.function == "sum"
+        assert len(aggregate.elements[0].terms) == 2
+
+    def test_negated_aggregate(self):
+        rule = single_rule("p :- not #count { X : q(X) } >= 2.")
+        assert rule.body[0].sign == 1
+
+    def test_multiple_elements(self):
+        rule = single_rule("p :- #sum { 1,a : a ; 2,b : b } >= 2.")
+        assert len(rule.body[0].elements) == 2
+
+
+class TestTheoryAtoms:
+    def test_diff_atom(self):
+        rule = single_rule("&diff { start(T2) - start(T1) } >= D :- dep(T1, T2, D).")
+        head = rule.head
+        assert isinstance(head, ast.TheoryAtom)
+        assert head.name == "diff"
+        assert head.guard[0] == ">="
+
+    def test_sum_with_condition(self):
+        rule = single_rule("&sum(energy) { E, T : bind(T, R), e(T, R, E) } <= 10.")
+        head = rule.head
+        assert head.name == "sum"
+        assert head.arguments[0].name == "energy"
+        assert len(head.elements[0].condition) == 2
+
+    def test_no_guard(self):
+        rule = single_rule("&minimize { C, R : alloc(R, C) }.")
+        assert rule.head.guard is None
+
+
+class TestDirectives:
+    def test_const(self):
+        program = parse_program("#const n = 4. p(1..n).")
+        assert "n" in program.constants
+
+    def test_show_skipped(self):
+        program = parse_program("#show p/1. p(1).")
+        assert len(program.rules) == 1
+
+    def test_unknown_directive(self):
+        with pytest.raises(ParseError):
+            parse_program("#foo bar.")

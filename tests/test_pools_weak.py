@@ -1,0 +1,98 @@
+"""Tests for argument pools (p(1;2)) and weak constraints (:~)."""
+
+import pytest
+
+from repro.asp import Control
+from repro.asp.grounder import GroundingError
+from repro.asp.parser import ParseError
+
+
+def sets(text):
+    ctl = Control()
+    ctl.add(text)
+    ctl.ground()
+    out = []
+    ctl.solve(on_model=lambda m: out.append(frozenset(map(str, m.symbols))), models=0)
+    return sorted(out, key=sorted)
+
+
+def optimum(text, strategy="bb"):
+    ctl = Control()
+    ctl.add(text)
+    ctl.ground()
+    return ctl.optimize(strategy=strategy)
+
+
+class TestPools:
+    def test_fact_pool(self):
+        (model,) = sets("p(1;2;5).")
+        assert {"p(1)", "p(2)", "p(5)"} <= model
+
+    def test_pool_with_interval(self):
+        (model,) = sets("p(1..2;9).")
+        assert {"p(1)", "p(2)", "p(9)"} <= model
+
+    def test_pool_in_rule_head(self):
+        (model,) = sets("q(7). p(X; X+1) :- q(X).")
+        assert {"p(7)", "p(8)"} <= model
+
+    def test_pool_multiple_arguments(self):
+        (model,) = sets("e(a;b, 1;2).")
+        assert {"e(a,1)", "e(a,2)", "e(b,1)", "e(b,2)"} <= model
+
+    def test_pool_in_choice_element(self):
+        result = sets("{ pick(x;y) }.")
+        assert len(result) == 4
+
+    def test_pool_in_positive_body_rejected(self):
+        with pytest.raises(GroundingError):
+            sets("p(1). p(2). q :- p(1;2).")
+
+
+class TestWeakConstraints:
+    def test_basic(self):
+        from repro.asp.syntax import Function
+
+        result = optimum("{a; b}. :- not a, not b. :~ a. [3@1] :~ b. [2@1]")
+        assert result.costs == (2,)
+        assert result.model.contains(Function("b"))
+        assert not result.model.contains(Function("a"))
+
+    def test_weight_with_variables(self):
+        result = optimum(
+            """
+            item(1..3). 1 { sel(X) : item(X) } 1.
+            :~ sel(X). [X@1, X]
+            """
+        )
+        assert result.costs == (1,)
+
+    def test_priorities(self):
+        result = optimum(
+            """
+            1 { a ; b } 1.
+            :~ a. [1@2]
+            :~ b. [5@1]
+            """
+        )
+        assert result.costs == (0, 5)
+
+    def test_equivalent_to_minimize(self):
+        weak = optimum("{a}. :- not a. :~ a. [4@1]")
+        mini = optimum("{a}. :- not a. #minimize { 4@1 : a }.")
+        assert weak.costs == mini.costs == (4,)
+
+    def test_negative_body_literals(self):
+        result = optimum("{a}. :~ not a. [7@1]")
+        assert result.costs == (0,)
+        from repro.asp.syntax import Function
+
+        assert result.model.contains(Function("a"))
+
+    def test_oll_agrees(self):
+        text = "{a; b; c}. :- not a, not b. :~ a. [2@1] :~ b. [3@1] :~ c. [1@1]"
+        assert optimum(text, "bb").costs == optimum(text, "oll").costs
+
+    def test_aggregate_body_rejected(self):
+        with pytest.raises(ParseError):
+            sets(":~ #count { x : p(x) } > 0. [1@1]")

@@ -1,0 +1,62 @@
+"""Tests for projected enumeration (solve(project=True))."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asp import Control
+
+
+def build(text):
+    ctl = Control()
+    ctl.add(text)
+    ctl.ground()
+    return ctl
+
+
+class TestProjection:
+    def test_distinct_projections_once(self):
+        # 4 full models, but only 2 distinct x-projections.
+        ctl = build("{a; b}. x :- a. #show x/0.")
+        projections = []
+        ctl.solve(
+            on_model=lambda m: projections.append(frozenset(map(str, m.symbols))),
+            models=0,
+            project=True,
+        )
+        assert sorted(projections, key=sorted) == [frozenset(), frozenset({"x"})]
+
+    def test_requires_show(self):
+        ctl = build("{a}.")
+        with pytest.raises(ValueError):
+            ctl.solve(project=True)
+
+    def test_bare_show_yields_single_projection(self):
+        ctl = build("{a; b}. #show.")
+        summary = ctl.solve(models=0, project=True)
+        assert summary.models == 1
+
+    def test_projection_with_arity_filter(self):
+        ctl = build("{p(1); p(2)}. q(X) :- p(X). #show q/1.")
+        summary = ctl.solve(models=0, project=True)
+        assert summary.models == 4  # subsets of {q(1), q(2)}
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.sampled_from(["{a}.", "{b}.", "{c}.", "x :- a.", "x :- b, c.", ":- a, c."]),
+        min_size=1,
+        max_size=5,
+        unique=True,
+    )
+)
+def test_projected_count_matches_distinct_projections(rules):
+    text = "\n".join(rules) + "\n#show x/0."
+    full = []
+    build(text).solve(
+        on_model=lambda m: full.append(frozenset(map(str, m.symbols))), models=0
+    )
+    projected = build(text)
+    summary = projected.solve(models=0, project=True)
+    assert summary.models == len(set(full))

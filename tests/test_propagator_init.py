@@ -1,0 +1,80 @@
+"""Tests for the propagator-initialization facade (repro.asp.propagator)."""
+
+from repro.asp import Control
+from repro.asp.propagator import PropagatorInit, TheoryPropagator
+from repro.asp.syntax import parse_term
+
+
+class _Recorder(TheoryPropagator):
+    """Captures everything init() is given."""
+
+    def __init__(self):
+        self.theory_atoms = None
+        self.bind_literal = None
+        self.symbolic = None
+        self.true_lit = None
+
+    def init(self, init: PropagatorInit) -> None:
+        self.theory_atoms = list(init.theory_atoms)
+        self.bind_literal = init.solver_literal(parse_term("b"))
+        self.symbolic = init.symbolic_atoms()
+        self.true_lit = init.true_lit
+
+
+def ground_with_recorder(text):
+    recorder = _Recorder()
+    ctl = Control()
+    ctl.add(text)
+    ctl.register_propagator(recorder)
+    ctl.ground()
+    return ctl, recorder
+
+
+class TestPropagatorInit:
+    def test_theory_atoms_delivered_with_literals(self):
+        _ctl, recorder = ground_with_recorder(
+            "{b}. &dom { 0..2 } = x :- b. &sum { x } >= 1 :- b."
+        )
+        names = sorted(atom.name for atom, _lit in recorder.theory_atoms)
+        assert names == ["dom", "sum"]
+        for _atom, lit in recorder.theory_atoms:
+            assert lit != 0
+
+    def test_solver_literal_for_choice_atom(self):
+        ctl, recorder = ground_with_recorder("{b}.")
+        assert abs(recorder.bind_literal) != abs(recorder.true_lit)
+
+    def test_solver_literal_for_fact_is_true(self):
+        ctl, recorder = ground_with_recorder("b.")
+        assert recorder.bind_literal == recorder.true_lit
+
+    def test_solver_literal_for_absent_is_false(self):
+        ctl, recorder = ground_with_recorder("a.")
+        assert recorder.bind_literal == -recorder.true_lit
+
+    def test_symbolic_atoms_map(self):
+        _ctl, recorder = ground_with_recorder("{b}. c :- b.")
+        names = {str(atom) for atom in recorder.symbolic}
+        assert names == {"b", "c"}
+
+    def test_model_values_merged_into_model(self):
+        class Stamper(TheoryPropagator):
+            def model_values(self, solver):
+                return {"stamp": 42}
+
+        ctl = Control()
+        ctl.add("a.")
+        ctl.register_propagator(Stamper())
+        ctl.ground()
+        captured = []
+        ctl.solve(on_model=captured.append)
+        assert captured[0].theory["stamp"] == 42
+
+    def test_registration_after_ground_rejected(self):
+        import pytest
+
+        ctl = Control()
+        ctl.add("a.")
+        ctl.ground()
+        with pytest.raises(RuntimeError):
+            ctl.register_propagator(_Recorder())

@@ -1,0 +1,57 @@
+"""Tests for the ASCII renderers (repro.bench.render)."""
+
+from repro.bench.render import render_scatter, render_series, render_table
+
+
+class TestTable:
+    def test_columns_aligned(self):
+        text = render_table(
+            "T", ["name", "value"], [{"name": "alpha", "value": 1}, {"name": "b", "value": 22}]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        header = lines[2]
+        assert "name" in header and "value" in header
+        # All data rows have the same width as the header.
+        assert len(lines[4]) == len(lines[2]) or lines[4].rstrip()
+
+    def test_floats_formatted(self):
+        text = render_table("T", ["x"], [{"x": 1.23456}])
+        assert "1.23" in text
+
+    def test_missing_cells_blank(self):
+        text = render_table("T", ["a", "b"], [{"a": 1}])
+        assert text.splitlines()[-1].startswith("1")
+
+    def test_empty_rows(self):
+        text = render_table("Empty", ["a"], [])
+        assert "Empty" in text
+
+
+class TestSeries:
+    def test_blocks_per_series(self):
+        text = render_series("S", {"one": [(1, 2)], "two": [(3, 4.5)]})
+        assert "[one]" in text and "[two]" in text
+        assert "4.50" in text
+
+
+class TestScatter:
+    def test_markers_and_legend(self):
+        text = render_scatter("P", {"exact": [(0, 0), (10, 10)]}, width=20, height=5)
+        assert "o=exact" in text
+        assert text.count("o") >= 2
+
+    def test_first_series_wins_overlap(self):
+        text = render_scatter(
+            "P", {"exact": [(5, 5)], "approx": [(5, 5)]}, width=10, height=5
+        )
+        grid = "\n".join(text.splitlines()[2:-2])
+        assert "o" in grid
+        assert "x" not in grid
+
+    def test_empty(self):
+        assert "(empty)" in render_scatter("P", {"s": []})
+
+    def test_degenerate_single_point(self):
+        text = render_scatter("P", {"s": [(3, 3)]}, width=10, height=4)
+        assert "o" in text

@@ -1,0 +1,127 @@
+"""Tests for decoding/validation (repro.synthesis.solution)."""
+
+from repro.synthesis.model import (
+    Application,
+    Architecture,
+    Link,
+    MappingOption,
+    Message,
+    Resource,
+    Specification,
+    Task,
+)
+from repro.synthesis.solution import Implementation, recompute_objectives, validate
+
+
+def diamond_spec():
+    app = Application(
+        tasks=(Task("a"), Task("b"), Task("c")),
+        messages=(Message("m0", "a", "b", size=2), Message("m1", "a", "c")),
+    )
+    resources = (Resource("r0", cost=2), Resource("r1", cost=3), Resource("r2", cost=5))
+    links = (
+        Link("l01", "r0", "r1", delay=1, energy=2),
+        Link("l10", "r1", "r0", delay=1, energy=2),
+        Link("l12", "r1", "r2", delay=2, energy=1),
+        Link("l21", "r2", "r1", delay=2, energy=1),
+    )
+    mappings = (
+        MappingOption("a", "r0", wcet=2, energy=1),
+        MappingOption("b", "r1", wcet=3, energy=2),
+        MappingOption("b", "r0", wcet=5, energy=1),
+        MappingOption("c", "r2", wcet=1, energy=4),
+    )
+    return Specification(app, Architecture(resources, links), mappings)
+
+
+def valid_impl():
+    return Implementation(
+        binding={"a": "r0", "b": "r1", "c": "r2"},
+        routes={"m0": ["l01"], "m1": ["l01", "l12"]},
+    )
+
+
+class TestRecompute:
+    def test_latency_longest_path(self):
+        spec = diamond_spec()
+        impl = valid_impl()
+        objectives = recompute_objectives(spec, impl)
+        # a: start 0, wcet 2. m0 delay = 1*2=2 -> b starts 4, ends 7.
+        # m1 delay = (1+2)*1=3 -> c starts 5, ends 6.
+        assert objectives["latency"] == 7
+
+    def test_energy_sums_bindings_and_hops(self):
+        spec = diamond_spec()
+        objectives = recompute_objectives(spec, valid_impl())
+        # bindings: 1+2+4; m0: l01 energy 2*size2=4; m1: 2+1=3.
+        assert objectives["energy"] == 7 + 4 + 3
+
+    def test_cost_counts_allocated_once(self):
+        spec = diamond_spec()
+        objectives = recompute_objectives(spec, valid_impl())
+        assert objectives["cost"] == 2 + 3 + 5
+
+    def test_cost_without_routing_through_extra(self):
+        spec = diamond_spec()
+        impl = Implementation(
+            binding={"a": "r0", "b": "r0", "c": "r2"},
+            routes={"m0": [], "m1": ["l01", "l12"]},
+        )
+        objectives = recompute_objectives(spec, impl)
+        assert objectives["cost"] == 2 + 3 + 5  # r1 allocated by routing
+
+
+class TestValidate:
+    def test_valid(self):
+        spec = diamond_spec()
+        impl = valid_impl()
+        impl.objectives = recompute_objectives(spec, impl)
+        assert validate(spec, impl) == []
+
+    def test_unbound_task(self):
+        spec = diamond_spec()
+        impl = valid_impl()
+        del impl.binding["c"]
+        assert any("unbound" in p for p in validate(spec, impl))
+
+    def test_invalid_binding(self):
+        spec = diamond_spec()
+        impl = valid_impl()
+        impl.binding["a"] = "r2"  # no such option
+        assert any("invalid resource" in p for p in validate(spec, impl))
+
+    def test_broken_route(self):
+        spec = diamond_spec()
+        impl = valid_impl()
+        impl.routes["m0"] = ["l12"]  # starts at the wrong resource
+        assert any("broken route" in p for p in validate(spec, impl))
+
+    def test_route_missing_target(self):
+        spec = diamond_spec()
+        impl = valid_impl()
+        impl.routes["m1"] = ["l01"]  # stops at r1, target is r2
+        assert any("ends at" in p for p in validate(spec, impl))
+
+    def test_route_cycle_rejected(self):
+        spec = diamond_spec()
+        impl = valid_impl()
+        impl.routes["m0"] = ["l01", "l10", "l01"]
+        assert any("revisits" in p for p in validate(spec, impl))
+
+    def test_schedule_violation(self):
+        spec = diamond_spec()
+        impl = valid_impl()
+        impl.schedule = {"a": 0, "b": 1, "c": 9}  # b too early (needs >= 4)
+        assert any("start(b)" in p for p in validate(spec, impl))
+
+    def test_schedule_valid(self):
+        spec = diamond_spec()
+        impl = valid_impl()
+        impl.schedule = {"a": 0, "b": 4, "c": 5}
+        assert validate(spec, impl) == []
+
+    def test_objective_mismatch_detected(self):
+        spec = diamond_spec()
+        impl = valid_impl()
+        impl.objectives = {"latency": 1}
+        assert any("objective latency" in p for p in validate(spec, impl))

@@ -1,0 +1,111 @@
+"""Unit tests for ground symbols (repro.asp.syntax)."""
+
+import pytest
+
+from repro.asp.syntax import Function, Number, String, parse_term
+
+
+class TestNumber:
+    def test_value_roundtrip(self):
+        assert Number(42).value == 42
+
+    def test_equality(self):
+        assert Number(3) == Number(3)
+        assert Number(3) != Number(4)
+
+    def test_ordering(self):
+        assert Number(1) < Number(2)
+        assert Number(-5) < Number(0)
+
+    def test_str(self):
+        assert str(Number(-7)) == "-7"
+
+    def test_hashable(self):
+        assert len({Number(1), Number(1), Number(2)}) == 2
+
+    def test_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            Number("3")
+
+
+class TestString:
+    def test_equality(self):
+        assert String("x") == String("x")
+        assert String("x") != String("y")
+
+    def test_str_quotes(self):
+        assert str(String("hi")) == '"hi"'
+
+    def test_str_escapes(self):
+        assert str(String('a"b')) == '"a\\"b"'
+
+    def test_rejects_non_str(self):
+        with pytest.raises(TypeError):
+            String(3)
+
+
+class TestFunction:
+    def test_constant(self):
+        c = Function("foo")
+        assert c.name == "foo"
+        assert c.arguments == ()
+        assert str(c) == "foo"
+
+    def test_nested(self):
+        term = Function("f", [Function("g", [Number(1)]), Number(2)])
+        assert str(term) == "f(g(1),2)"
+
+    def test_signature(self):
+        assert Function("bind", [Number(1), Number(2)]).signature == ("bind", 2)
+
+    def test_equality_structural(self):
+        a = Function("f", [Number(1)])
+        b = Function("f", [Number(1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_tuple_str(self):
+        assert str(Function("", [Number(1), Number(2)])) == "(1,2)"
+
+    def test_one_tuple_str(self):
+        assert str(Function("", [Number(1)])) == "(1,)"
+
+    def test_ordering_by_arity_then_name(self):
+        assert Function("b") < Function("a", [Number(1)])
+        assert Function("a") < Function("b")
+        assert Function("a", [Number(1)]) < Function("a", [Number(2)])
+
+
+class TestCrossTypeOrdering:
+    def test_numbers_before_strings_before_functions(self):
+        assert Number(1000) < String("a")
+        assert String("zzz") < Function("a")
+
+    def test_sorting_mixed(self):
+        items = [Function("f"), Number(2), String("s"), Number(1)]
+        assert sorted(items) == [Number(1), Number(2), String("s"), Function("f")]
+
+
+class TestParseTerm:
+    def test_number(self):
+        assert parse_term("42") == Number(42)
+
+    def test_negative_number(self):
+        assert parse_term("-3") == Number(-3)
+
+    def test_constant(self):
+        assert parse_term("abc") == Function("abc")
+
+    def test_function(self):
+        assert parse_term("f(a, 1)") == Function("f", [Function("a"), Number(1)])
+
+    def test_arithmetic_folded(self):
+        assert parse_term("2 + 3 * 4") == Number(14)
+
+    def test_string(self):
+        assert parse_term('"hello"') == String("hello")
+
+    def test_nested_tuple(self):
+        assert parse_term("(1, (2, 3))") == Function(
+            "", [Number(1), Function("", [Number(2), Number(3)])]
+        )

@@ -1,0 +1,128 @@
+"""Tests for the TGFF-style importer."""
+
+import pytest
+
+from repro.dse.explorer import explore
+from repro.workloads.tgff import TgffError, parse_tgff, to_specification
+
+SAMPLE = """
+@TASK_GRAPH 0 {
+    PERIOD 300
+    TASK t0_0  TYPE 2
+    TASK t0_1  TYPE 3
+    TASK t0_2  TYPE 2
+    ARC a0_0   FROM t0_0 TO t0_1 TYPE 2
+    ARC a0_1   FROM t0_1 TO t0_2 TYPE 1
+    HARD_DEADLINE d0_0 ON t0_2 AT 300
+}
+
+@PE 0 {
+# price
+    70
+#  type exec_time energy
+    2   5   12
+    3   6   9
+}
+
+@PE 1 {
+    30
+    2   9   4
+    3   11  3
+}
+"""
+
+
+class TestParser:
+    def test_tasks_and_types(self):
+        model = parse_tgff(SAMPLE)
+        assert model.tasks == {"t0_0": 2, "t0_1": 3, "t0_2": 2}
+
+    def test_arcs(self):
+        model = parse_tgff(SAMPLE)
+        assert model.arcs[0] == ("a0_0", "t0_0", "t0_1", 2)
+
+    def test_period(self):
+        model = parse_tgff(SAMPLE)
+        assert model.periods["0"] == 300
+
+    def test_pe_tables(self):
+        model = parse_tgff(SAMPLE)
+        assert model.pes[0].price == 70
+        assert model.pes[0].table[2] == (5, 12)
+        assert model.pes[1].table[3] == (11, 3)
+
+    def test_comments_stripped(self):
+        model = parse_tgff(SAMPLE)
+        assert len(model.pes) == 2
+
+    def test_deadlines_ignored(self):
+        parse_tgff(SAMPLE)  # must not raise on HARD_DEADLINE
+
+    def test_missing_pe_blocks(self):
+        with pytest.raises(TgffError):
+            parse_tgff("@TASK_GRAPH 0 { TASK a TYPE 0 }")
+
+    def test_unterminated_block(self):
+        with pytest.raises(TgffError):
+            parse_tgff("@TASK_GRAPH 0 { TASK a TYPE 0")
+
+    def test_duplicate_task(self):
+        with pytest.raises(TgffError):
+            parse_tgff(
+                "@TASK_GRAPH 0 { TASK a TYPE 0\n TASK a TYPE 1 }\n@PE 0 { 1\n 0 1 }"
+            )
+
+    def test_arc_requires_endpoints(self):
+        with pytest.raises(TgffError):
+            parse_tgff(
+                "@TASK_GRAPH 0 { TASK a TYPE 0\n ARC x FROM a TYPE 1 }\n@PE 0 { 1\n 0 1 }"
+            )
+
+    def test_energy_defaults_to_time(self):
+        model = parse_tgff(
+            "@TASK_GRAPH 0 { TASK a TYPE 0 }\n@PE 0 { 1\n 0 4 }"
+        )
+        assert model.pes[0].table[0] == (4, 4)
+
+
+class TestConversion:
+    def test_bus_specification(self):
+        spec = to_specification(parse_tgff(SAMPLE), platform="bus")
+        summary = spec.summary()
+        assert summary["tasks"] == 3
+        assert summary["messages"] == 2
+        assert summary["resources"] == 3  # 2 PEs + bus hub
+        # Every task type exists in both PE tables -> 2 options each.
+        assert summary["mapping_options"] == 6
+
+    def test_message_sizes_from_arc_type(self):
+        spec = to_specification(parse_tgff(SAMPLE))
+        sizes = {m.name: m.size for m in spec.application.messages}
+        assert sizes == {"a0_0": 2, "a0_1": 1}
+
+    def test_partial_mappability(self):
+        text = """
+        @TASK_GRAPH 0 { TASK a TYPE 0\n TASK b TYPE 1\n ARC x FROM a TO b TYPE 1 }
+        @PE 0 { 5\n 0 3\n 1 4 }
+        @PE 1 { 2\n 0 6 }
+        """
+        spec = to_specification(parse_tgff(text))
+        assert {o.resource for o in spec.options_of("a")} == {"pe0", "pe1"}
+        assert {o.resource for o in spec.options_of("b")} == {"pe0"}
+
+    def test_ring_and_mesh_platforms(self):
+        model = parse_tgff(SAMPLE)
+        for platform in ("ring", "mesh"):
+            spec = to_specification(model, platform=platform)
+            assert spec.architecture.links
+
+    def test_unknown_platform(self):
+        with pytest.raises(TgffError):
+            to_specification(parse_tgff(SAMPLE), platform="torus")
+
+    def test_end_to_end_exploration(self):
+        spec = to_specification(parse_tgff(SAMPLE), platform="bus")
+        result = explore(spec)
+        assert result.front
+        # The cheap/slow vs. fast/expensive PEs give a real trade-off.
+        assert len(result.front) >= 2

@@ -1,0 +1,155 @@
+"""Tests for the difference-logic propagator, incl. a Bellman–Ford oracle."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asp import Control
+from repro.theory.difference import DifferenceLogicPropagator
+from repro.theory.linear import LinearPropagator
+
+
+def solve_dl(text, with_linear=False, models=1):
+    dl = DifferenceLogicPropagator()
+    ctl = Control()
+    ctl.add(text)
+    if with_linear:
+        ctl.register_propagator(LinearPropagator())
+    ctl.register_propagator(dl)
+    ctl.ground()
+    collected = []
+    summary = ctl.solve(on_model=lambda m: collected.append(m), models=models)
+    return summary, collected, dl
+
+
+class TestBasics:
+    def test_feasible_chain(self):
+        summary, models, _dl = solve_dl(
+            """
+            &diff { b - a } >= 3.
+            &diff { c - b } >= 2.
+            """
+        )
+        assert summary.satisfiable
+        values = {str(k): v for k, v in models[0].theory["dl"].items()}
+        assert values["b"] - values["a"] >= 3
+        assert values["c"] - values["b"] >= 2
+
+    def test_negative_cycle_unsat(self):
+        summary, _models, dl = solve_dl(
+            """
+            &diff { b - a } >= 1.
+            &diff { a - b } >= 1.
+            """
+        )
+        assert not summary.satisfiable
+        assert dl.conflicts > 0
+
+    def test_zero_anchor(self):
+        summary, models, _dl = solve_dl("&diff { x } >= 5. &diff { x } <= 7.")
+        assert summary.satisfiable
+        values = {str(k): v for k, v in models[0].theory["dl"].items()}
+        assert 5 <= values["x"] <= 7
+
+    def test_equality(self):
+        summary, models, _dl = solve_dl("&diff { a - b } = 4.")
+        values = {str(k): v for k, v in models[0].theory["dl"].items()}
+        assert values["a"] - values["b"] == 4
+
+    def test_conditional_edges(self):
+        summary, models, _dl = solve_dl(
+            """
+            {swap}.
+            &diff { a - b } >= 2 :- swap.
+            &diff { b - a } >= 2 :- not swap.
+            """,
+            models=0,
+        )
+        assert summary.models == 2
+
+
+class TestBacktracking:
+    def test_choices_over_conflicting_edges(self):
+        # Exactly one of the two cycle-closing edges may be active.
+        summary, models, _dl = solve_dl(
+            """
+            edge(f). edge(g).
+            1 { on(E) : edge(E) } 1.
+            &diff { b - a } >= 5.
+            &diff { a - b } >= 1 :- on(f).
+            &diff { c - b } >= 1 :- on(g).
+            """,
+            models=0,
+        )
+        assert summary.models == 1
+        assert str(models[0].atoms_of("on", 1)[0].arguments[0]) == "g"
+
+
+def _bellman_ford_feasible(edges, n):
+    """Oracle: constraints x - y <= c feasible iff no negative cycle."""
+    # Standard formulation: edge y -> x with weight c; add a super source.
+    dist = [0] * (n + 1)
+    source = n
+    graph = [(source, v, 0) for v in range(n)]
+    graph += [(y, x, c) for (x, y, c) in edges]
+    for _ in range(n + 1):
+        changed = False
+        for u, v, w in graph:
+            if dist[u] + w < dist[v]:
+                dist[v] = dist[u] + w
+                changed = True
+        if not changed:
+            return True
+    return False
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 4), st.integers(0, 4), st.integers(-4, 4)
+        ).filter(lambda e: e[0] != e[1]),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_dl_matches_bellman_ford(edges):
+    n = 5
+    lines = [f"&diff {{ v{x} - v{y} }} <= {c}." for x, y, c in edges]
+    summary, models, _dl = solve_dl("\n".join(lines))
+    expected = _bellman_ford_feasible(edges, n)
+    assert summary.satisfiable == expected
+    if summary.satisfiable:
+        values = {str(k): v for k, v in models[0].theory["dl"].items()}
+        for x, y, c in edges:
+            vx = values.get(f"v{x}", 0)
+            vy = values.get(f"v{y}", 0)
+            assert vx - vy <= c
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(-3, 5)).filter(
+            lambda e: e[0] != e[1]
+        ),
+        min_size=2,
+        max_size=8,
+    ),
+    st.integers(0, 3),
+)
+def test_dl_agrees_with_linear_propagator(edges, seed):
+    """Both engines must agree on satisfiability (bounded domains)."""
+    lines = ["idx(0..3).", "&dom { 0..40 } = v(X) :- idx(X)."]
+    lines += [f"&diff {{ v({x}) - v({y}) }} <= {c}." for x, y, c in edges]
+    text = "\n".join(lines)
+
+    summary_dl, _m, _dl = solve_dl(text)
+
+    ctl = Control()
+    ctl.add(text)
+    ctl.register_propagator(LinearPropagator())
+    ctl.ground()
+    summary_lin = ctl.solve()
+    assert summary_dl.satisfiable == summary_lin.satisfiable

@@ -1,0 +1,87 @@
+"""Unit tests for the backtrackable interval store."""
+
+from repro.asp.syntax import Function
+from repro.theory.domain import INT_MAX, INT_MIN, IntervalStore
+
+
+def sym(name):
+    return Function(name)
+
+
+class TestVariables:
+    def test_add_and_lookup(self):
+        store = IntervalStore()
+        x = store.add_var(sym("x"), 0, 10)
+        assert store.var(sym("x")) == x
+        assert store.name(x) == sym("x")
+
+    def test_add_is_idempotent(self):
+        store = IntervalStore()
+        assert store.add_var(sym("x")) == store.add_var(sym("x"))
+
+    def test_default_bounds(self):
+        store = IntervalStore()
+        x = store.add_var(sym("x"))
+        assert store.lb(x) == INT_MIN
+        assert store.ub(x) == INT_MAX
+
+
+class TestBounds:
+    def test_set_lb_tightens(self):
+        store = IntervalStore()
+        x = store.add_var(sym("x"), 0, 10)
+        assert store.set_lb(x, 3, (7,), level=1)
+        assert store.lb(x) == 3
+        assert store.lb_reason(x) == (7,)
+
+    def test_weaker_lb_ignored(self):
+        store = IntervalStore()
+        x = store.add_var(sym("x"), 5, 10)
+        assert not store.set_lb(x, 2, (), level=1)
+        assert store.lb(x) == 5
+
+    def test_empty_detection(self):
+        store = IntervalStore()
+        x = store.add_var(sym("x"), 0, 10)
+        store.set_lb(x, 8, (), level=1)
+        store.set_ub(x, 4, (), level=1)
+        assert store.is_empty(x)
+
+    def test_snapshot(self):
+        store = IntervalStore()
+        store.add_var(sym("x"), 0, 4)
+        store.add_var(sym("y"), 1, 2)
+        assert store.snapshot() == {sym("x"): (0, 4), sym("y"): (1, 2)}
+
+
+class TestUndo:
+    def test_undo_restores_bounds_and_reasons(self):
+        store = IntervalStore()
+        x = store.add_var(sym("x"), 0, 10)
+        store.set_lb(x, 3, (1,), level=1)
+        store.set_lb(x, 5, (2,), level=2)
+        store.undo(1)
+        assert store.lb(x) == 3
+        assert store.lb_reason(x) == (1,)
+        store.undo(0)
+        assert store.lb(x) == 0
+        assert store.lb_reason(x) == ()
+
+    def test_level_zero_updates_permanent(self):
+        store = IntervalStore()
+        x = store.add_var(sym("x"), 0, 10)
+        store.set_ub(x, 7, (), level=0)
+        store.undo(0)
+        assert store.ub(x) == 7
+
+    def test_undo_interleaved_variables(self):
+        store = IntervalStore()
+        x = store.add_var(sym("x"), 0, 10)
+        y = store.add_var(sym("y"), 0, 10)
+        store.set_lb(x, 2, (), level=1)
+        store.set_ub(y, 8, (), level=1)
+        store.set_lb(y, 4, (), level=2)
+        store.undo(1)
+        assert store.lb(y) == 0
+        assert store.ub(y) == 8
+        assert store.lb(x) == 2

@@ -1,0 +1,111 @@
+"""Tests for theory-variable minimization (repro.theory.minimize)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asp import Control
+from repro.asp.syntax import Function
+from repro.theory.linear import LinearPropagator
+from repro.theory.minimize import minimize_theory_variable
+
+
+def minimize(text, variable="obj", conflict_limit=None):
+    ctl = Control()
+    linear = LinearPropagator()
+    ctl.add(text)
+    ctl.register_propagator(linear)
+    return minimize_theory_variable(
+        ctl, linear, Function(variable), conflict_limit=conflict_limit
+    )
+
+
+class TestBasics:
+    def test_simple_lower_bound(self):
+        optimum, model = minimize("&dom { 3..9 } = obj.")
+        assert optimum == 3
+
+    def test_constraint_lifts_optimum(self):
+        optimum, _model = minimize("&dom { 0..9 } = obj. &sum { obj } >= 6.")
+        assert optimum == 6
+
+    def test_boolean_choice_affects_optimum(self):
+        optimum, model = minimize(
+            """
+            {fast}.
+            &dom { 0..20 } = obj.
+            &sum { obj } >= 9 :- not fast.
+            &sum { obj } >= 4 :- fast.
+            """
+        )
+        assert optimum == 4
+        assert model.contains(Function("fast"))
+
+    def test_unsat(self):
+        optimum, model = minimize("a. :- a. &dom { 0..5 } = obj.")
+        assert optimum is None and model is None
+
+    def test_control_usable_afterwards(self):
+        ctl = Control()
+        linear = LinearPropagator()
+        ctl.add("&dom { 2..8 } = obj. {a}.")
+        ctl.register_propagator(linear)
+        optimum, _ = minimize_theory_variable(ctl, linear, Function("obj"))
+        assert optimum == 2
+        # The optimality proof must not poison the control.
+        assert ctl.solve().satisfiable
+
+
+class TestMakespan:
+    def test_two_task_schedule(self):
+        # Two serialized unit tasks of lengths 3 and 4: optimum 7.
+        optimum, model = minimize(
+            """
+            1 { first(a) ; first(b) } 1.
+            &dom { 0..30 } = s(a). &dom { 0..30 } = s(b).
+            &dom { 0..30 } = obj.
+            &diff { s(b) - s(a) } >= 3 :- first(a).
+            &diff { s(a) - s(b) } >= 4 :- first(b).
+            &sum { obj - s(a) } >= 3.
+            &sum { obj - s(b) } >= 4.
+            """,
+        )
+        assert optimum == 7
+
+    def test_job_shop_fragment(self):
+        # Three ops on one machine, durations 2/3/4: optimum is the sum.
+        optimum, _model = minimize(
+            """
+            op(x, 2). op(y, 3). op(z, 4).
+            pair(A, B) :- op(A, DA), op(B, DB), A < B.
+            1 { before(A, B) ; before(B, A) } 1 :- pair(A, B).
+            &dom { 0..40 } = s(O) :- op(O, D).
+            &dom { 0..40 } = obj.
+            &diff { s(B) - s(A) } >= D :- before(A, B), op(A, D).
+            &sum { obj - s(O) } >= D :- op(O, D).
+            """
+        )
+        assert optimum == 9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(1, 5), min_size=1, max_size=4),
+    st.integers(0, 3),
+)
+def test_optimum_matches_brute_force(durations, slack):
+    """Serialized tasks on one resource: optimum = sum of durations."""
+    ops = " ".join(f"op(t{i}, {d})." for i, d in enumerate(durations))
+    text = f"""
+    {ops}
+    pair(A, B) :- op(A, DA), op(B, DB), A < B.
+    1 {{ before(A, B) ; before(B, A) }} 1 :- pair(A, B).
+    &dom {{ 0..{sum(durations) + slack} }} = s(O) :- op(O, D).
+    &dom {{ 0..{sum(durations) + slack} }} = obj.
+    &diff {{ s(B) - s(A) }} >= D :- before(A, B), op(A, D).
+    &sum {{ obj - s(O) }} >= D :- op(O, D).
+    """
+    optimum, _model = minimize(text)
+    assert optimum == sum(durations)

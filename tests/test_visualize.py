@@ -1,0 +1,128 @@
+"""Tests for the DOT/ASCII visualization helpers."""
+
+from repro.dse.explorer import explore
+from repro.synthesis.visualize import (
+    application_to_dot,
+    architecture_to_dot,
+    implementation_summary,
+    implementation_to_dot,
+)
+from repro.workloads import WorkloadConfig, generate_specification
+
+
+def spec_and_impl():
+    spec = generate_specification(WorkloadConfig(tasks=4, seed=1))
+    result = explore(spec)
+    return spec, result.front[0].implementation
+
+
+class TestApplicationDot:
+    def test_valid_digraph(self):
+        spec, _impl = spec_and_impl()
+        dot = application_to_dot(spec)
+        assert dot.startswith("digraph application {")
+        assert dot.rstrip().endswith("}")
+
+    def test_all_tasks_present(self):
+        spec, _impl = spec_and_impl()
+        dot = application_to_dot(spec)
+        for task in spec.application.tasks:
+            assert f'"{task.name}"' in dot
+
+    def test_all_messages_present(self):
+        spec, _impl = spec_and_impl()
+        dot = application_to_dot(spec)
+        for message in spec.application.messages:
+            assert message.name in dot
+
+
+class TestArchitectureDot:
+    def test_resources_and_links(self):
+        spec, _impl = spec_and_impl()
+        dot = architecture_to_dot(spec)
+        for resource in spec.architecture.resources:
+            assert resource.name in dot
+        for link in spec.architecture.links:
+            assert link.name in dot
+
+    def test_costs_labelled(self):
+        spec, _impl = spec_and_impl()
+        assert "cost=" in architecture_to_dot(spec)
+
+
+class TestImplementationDot:
+    def test_used_links_highlighted(self):
+        spec, impl = spec_and_impl()
+        dot = implementation_to_dot(spec, impl)
+        used = {name for route in impl.routes.values() for name in route}
+        if used:
+            assert "penwidth=2" in dot
+
+    def test_bound_tasks_on_resources(self):
+        spec, impl = spec_and_impl()
+        dot = implementation_to_dot(spec, impl)
+        for task in impl.binding:
+            assert task in dot
+
+    def test_balanced_braces(self):
+        spec, impl = spec_and_impl()
+        dot = implementation_to_dot(spec, impl)
+        assert dot.count("{") == dot.count("}")
+
+
+class TestSummary:
+    def test_contains_objectives_and_binding(self):
+        spec, impl = spec_and_impl()
+        text = implementation_summary(spec, impl)
+        assert "objectives:" in text
+        for resource in set(impl.binding.values()):
+            assert resource in text
+
+    def test_schedule_rendered_in_order(self):
+        spec, impl = spec_and_impl()
+        impl.schedule = {t.name: i for i, t in enumerate(spec.application.tasks)}
+        text = implementation_summary(spec, impl)
+        assert "schedule:" in text
+
+
+class TestGantt:
+    def build_scheduled(self):
+        from repro.dse.explorer import ExactParetoExplorer
+        from repro.synthesis.encoding import encode
+        from repro.workloads.curated import curated
+
+        spec = curated("consumer_jpeg")
+        result = ExactParetoExplorer(encode(spec, link_contention=True)).run()
+        return spec, result.front[0].implementation
+
+    def test_one_row_per_used_resource(self):
+        from repro.synthesis.visualize import schedule_gantt
+
+        spec, impl = self.build_scheduled()
+        text = schedule_gantt(spec, impl)
+        for resource in set(impl.binding.values()):
+            assert resource in text
+
+    def test_links_row_under_contention(self):
+        from repro.synthesis.visualize import schedule_gantt
+
+        spec, impl = self.build_scheduled()
+        if any(impl.routes.values()):
+            assert "links |" in schedule_gantt(spec, impl)
+
+    def test_no_schedule_placeholder(self):
+        from repro.synthesis.solution import Implementation
+        from repro.synthesis.visualize import schedule_gantt
+        from repro.workloads.curated import curated
+
+        spec = curated("consumer_jpeg")
+        impl = Implementation(binding={}, routes={})
+        assert schedule_gantt(spec, impl) == "(no schedule)"
+
+    def test_scaling_respects_width(self):
+        from repro.synthesis.visualize import schedule_gantt
+
+        spec, impl = self.build_scheduled()
+        text = schedule_gantt(spec, impl, width=10)
+        for line in text.splitlines()[1:]:
+            assert len(line.split("|", 1)[1]) <= 12
