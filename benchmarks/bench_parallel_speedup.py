@@ -1,0 +1,61 @@
+"""Parallel speedup benchmark (extension): subspace workers + archive.
+
+Records 1/2/4-worker wall times on curated workloads with the shared
+dominance archive on and off.  Shape claims: every configuration
+reproduces the sequential front exactly; sharing never enumerates more
+models than isolation at equal worker count; on the largest curated
+instance (network_firewall) the shared archive yields at least a 1.5x
+wall-time speedup over isolated archives at 4 workers.  Per-worker
+statistics ride along in ``extra_info`` and land in the pytest-benchmark
+JSON output (``--benchmark-json``)."""
+
+from repro.bench.experiments import fig10_parallel
+
+
+def test_parallel_speedup(benchmark, budget):
+    columns, rows = benchmark.pedantic(
+        fig10_parallel,
+        kwargs={"conflict_limit": budget},
+        rounds=1,
+        iterations=1,
+    )
+    by_instance = {}
+    for row in rows:
+        by_instance.setdefault(row["instance"], []).append(row)
+    assert set(by_instance) == {"consumer_jpeg", "network_firewall"}
+
+    for name, variants in by_instance.items():
+        sequential = variants[0]
+        assert sequential["jobs"] == 1
+        for row in variants:
+            assert row["exact"], (name, row["jobs"], row["share"])
+            # Exactness: identical front vectors in every configuration.
+            assert row["front"] == sequential["front"], (name, row["jobs"])
+            assert row["pareto"] == sequential["pareto"]
+            if row["jobs"] > 1:
+                assert len(row["per_worker"]) >= 1
+                for worker in row["per_worker"]:
+                    assert worker["models_enumerated"] >= 0
+                    assert worker["wall_time"] >= 0
+        shared = {
+            r["jobs"]: r for r in variants if r["share"] == "yes"
+        }
+        isolated = {
+            r["jobs"]: r for r in variants if r["share"] == "no"
+        }
+        for jobs, row in shared.items():
+            # Cooperative pruning never enumerates more models.
+            assert row["models"] <= isolated[jobs]["models"], (name, jobs)
+
+    # The headline: >= 1.5x from archive sharing at 4 workers on the
+    # largest curated instance.
+    firewall = {
+        (r["jobs"], r["share"]): r for r in by_instance["network_firewall"]
+    }
+    speedup = firewall[(4, "yes")]["share_x"]
+    assert speedup >= 1.5, f"shared-archive speedup at 4 workers: {speedup}"
+
+    benchmark.extra_info["rows"] = [
+        {key: value for key, value in row.items() if key != "front"}
+        for row in rows
+    ]

@@ -16,7 +16,7 @@ def test_table3_curated(benchmark, budget):
     by_instance = {}
     for row in rows:
         by_instance.setdefault(row["instance"], {})[row["objectives"]] = row
-    assert len(by_instance) == 3
+    assert len(by_instance) == 4
     for name, variants in by_instance.items():
         two = variants["lat/cos"]
         three = variants["lat/ene/cos"]

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 __all__ = ["Clause", "Solver", "SolveResult", "PropagatorBase"]
@@ -93,6 +94,10 @@ class SolverStatistics:
     learned: int = 0
     deleted: int = 0
     propagator_clauses: int = 0
+    #: Wall seconds spent in two-watched-literal unit propagation.
+    time_boolean: float = 0.0
+    #: Wall seconds spent inside propagator callbacks (theory fixpoints).
+    time_theory: float = 0.0
 
 
 def _luby(i: int) -> int:
@@ -416,8 +421,11 @@ class Solver:
 
     def _propagate(self) -> Optional[Clause]:
         """Full propagation fixpoint: unit propagation plus propagators."""
+        stats = self.stats
         while True:
+            started = perf_counter()
             conflict = self._propagate_boolean()
+            stats.time_boolean += perf_counter() - started
             if conflict is not None:
                 return conflict
             if self._pending_conflict is not None:
@@ -431,7 +439,9 @@ class Solver:
                     continue
                 self._prop_buffers[index] = []
                 progressed = True
+                started = perf_counter()
                 keep_going = propagator.propagate(self, buffer)
+                stats.time_theory += perf_counter() - started
                 if self._pending_conflict is not None:
                     conflict = self._pending_conflict
                     self._pending_conflict = None

@@ -27,6 +27,7 @@ from repro.bench.experiments import (
     fig7_routing,
     fig8_solver_ablation,
     fig9_contention,
+    fig10_parallel,
     table1_instances,
     table2_dse,
     table3_curated,
@@ -46,6 +47,7 @@ EXPERIMENTS = (
     "fig7",
     "fig8",
     "fig9",
+    "fig10",
 )
 
 
@@ -189,6 +191,22 @@ def main(argv: List[str] | None = None) -> int:
             print(
                 render_table(
                     "Fig. 7 (ext.): routing freedom vs. fixed routing",
+                    columns,
+                    rows,
+                )
+            )
+        elif experiment == "fig10":
+            instances = (
+                ("consumer_jpeg",)
+                if args.quick
+                else ("consumer_jpeg", "network_firewall")
+            )
+            columns, rows = fig10_parallel(
+                instances=instances, conflict_limit=budget
+            )
+            print(
+                render_table(
+                    "Fig. 10 (ext.): parallel workers + shared archive",
                     columns,
                     rows,
                 )

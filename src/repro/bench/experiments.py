@@ -37,6 +37,7 @@ __all__ = [
     "fig7_routing",
     "fig8_solver_ablation",
     "fig9_contention",
+    "fig10_parallel",
 ]
 
 Rows = List[Dict[str, object]]
@@ -611,6 +612,95 @@ def fig6_heuristics(
                         "decisions": stats.decisions,
                         "conflicts": stats.conflicts,
                         "time_s": stats.wall_time,
+                    }
+                )
+    return columns, rows
+
+
+def fig10_parallel(
+    instances: Sequence[str] = ("consumer_jpeg", "network_firewall"),
+    jobs_list: Sequence[int] = (1, 2, 4),
+    conflict_limit: Optional[int] = DEFAULT_BUDGET,
+    backend: str = "inline",
+) -> Tuple[List[str], Rows]:
+    """Fig. 10 (extension): parallel subspace workers + shared archive.
+
+    Wall times for 1/2/4 workers with cross-worker archive sharing on and
+    off.  The suite may run on a single core, so the honest headline is
+    the ablation at equal worker count (the ``share_x`` column): sharing
+    turns the workers' pruning archives into one cooperative bound, which
+    cuts models enumerated, conflicts, and wall time.  The front is
+    identical to the sequential explorer in every configuration (each row
+    carries it for the benchmark's shape checks); ``conflict_limit`` is
+    per worker.
+    """
+    from repro.dse.parallel import ParallelParetoExplorer
+    from repro.workloads.curated import curated
+
+    columns = [
+        "instance",
+        "jobs",
+        "share",
+        "pareto",
+        "models",
+        "conflicts",
+        "time_s",
+        "share_x",
+        "exact",
+    ]
+    rows: Rows = []
+    for name in instances:
+        spec = curated(name)
+        reference = ExactParetoExplorer(
+            encode(spec), conflict_limit=conflict_limit, validate_models=False
+        ).run()
+        stats = reference.statistics
+        rows.append(
+            {
+                "instance": name,
+                "jobs": 1,
+                "share": "-",
+                "pareto": stats.pareto_points,
+                "models": stats.models_enumerated,
+                "conflicts": stats.conflicts,
+                "time_s": stats.wall_time,
+                "share_x": "-",
+                "exact": not stats.interrupted,
+                "front": reference.vectors(),
+                "per_worker": [],
+            }
+        )
+        for jobs in (j for j in jobs_list if j > 1):
+            isolated_time = None
+            for share in (False, True):
+                result = ParallelParetoExplorer(
+                    encode(spec),
+                    jobs=jobs,
+                    backend=backend,
+                    share_archive=share,
+                    conflict_limit=conflict_limit,
+                    validate_models=False,
+                ).run()
+                pstats = result.statistics
+                if not share:
+                    isolated_time = pstats.wall_time
+                rows.append(
+                    {
+                        "instance": name,
+                        "jobs": jobs,
+                        "share": "yes" if share else "no",
+                        "pareto": pstats.pareto_points,
+                        "models": pstats.models_enumerated,
+                        "conflicts": pstats.conflicts,
+                        "time_s": pstats.wall_time,
+                        "share_x": (
+                            round(isolated_time / pstats.wall_time, 2)
+                            if share
+                            else "-"
+                        ),
+                        "exact": not pstats.interrupted,
+                        "front": result.vectors(),
+                        "per_worker": pstats.per_worker,
                     }
                 )
     return columns, rows

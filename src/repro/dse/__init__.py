@@ -28,7 +28,14 @@ from repro.dse.explorer import (
     ObjectiveBoundPropagator,
     ParetoPoint,
 )
-from repro.dse.pareto import ListArchive, dominates, pareto_filter, weakly_dominates
+from repro.dse.parallel import ParallelParetoExplorer
+from repro.dse.pareto import (
+    ListArchive,
+    dominates,
+    non_dominated_union,
+    pareto_filter,
+    weakly_dominates,
+)
 from repro.dse.quadtree import QuadTreeArchive
 
 __all__ = [
@@ -38,9 +45,11 @@ __all__ = [
     "ExactParetoExplorer",
     "ListArchive",
     "ObjectiveBoundPropagator",
+    "ParallelParetoExplorer",
     "ParetoPoint",
     "QuadTreeArchive",
     "dominates",
+    "non_dominated_union",
     "pareto_filter",
     "weakly_dominates",
 ]

@@ -59,6 +59,37 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="TASK=RESOURCE",
         help="pin a task to a resource (repeatable; what-if exploration)",
     )
+
+    par = parser.add_argument_group("parallel exploration")
+    par.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker count; >1 switches to subspace-splitting workers",
+    )
+    par.add_argument(
+        "--split-depth",
+        type=int,
+        default=None,
+        help="binding decisions to split on (default: derived from --jobs)",
+    )
+    par.add_argument(
+        "--chunk-conflicts",
+        type=int,
+        default=None,
+        help="conflicts per solver call between archive syncs (parallel only)",
+    )
+    par.add_argument(
+        "--no-share",
+        action="store_true",
+        help="isolate worker archives (ablation; front stays exact)",
+    )
+    par.add_argument(
+        "--backend",
+        choices=("process", "inline"),
+        default="process",
+        help="parallel backend (inline = deterministic in-process)",
+    )
     args = parser.parse_args(argv)
 
     if args.spec:
@@ -92,14 +123,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not task or not resource:
             parser.error(f"malformed --pin {entry!r}")
         pins[task] = resource
-    explorer = ExactParetoExplorer(
-        instance,
-        archive=args.archive,
-        epsilon=args.epsilon,
-        conflict_limit=args.budget,
-        objective_phases=args.heuristics,
-        fixed_bindings=pins,
-    )
+    if args.jobs > 1 or args.split_depth is not None:
+        from repro.dse.parallel import DEFAULT_CHUNK_CONFLICTS, ParallelParetoExplorer
+
+        explorer = ParallelParetoExplorer(
+            instance,
+            jobs=max(args.jobs, 1),
+            split_depth=args.split_depth,
+            backend=args.backend,
+            chunk_conflicts=args.chunk_conflicts or DEFAULT_CHUNK_CONFLICTS,
+            share_archive=not args.no_share,
+            conflict_limit=args.budget,
+            fixed_bindings=pins,
+            archive=args.archive,
+            epsilon=args.epsilon,
+            objective_phases=args.heuristics,
+        )
+    else:
+        explorer = ExactParetoExplorer(
+            instance,
+            archive=args.archive,
+            epsilon=args.epsilon,
+            conflict_limit=args.budget,
+            objective_phases=args.heuristics,
+            fixed_bindings=pins,
+        )
     result = explorer.run()
     stats = result.statistics
 
@@ -122,6 +170,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{stats.wall_time:.2f}s"
         + (", INTERRUPTED (budget)" if stats.interrupted else "")
     )
+    for worker in stats.per_worker:
+        print(
+            f"  worker {worker['worker']}: {worker['cubes']} cubes, "
+            f"{worker['models_enumerated']} models, "
+            f"{worker['conflicts']} conflicts, "
+            f"{worker['injected']} foreign points, "
+            f"{worker['wall_time']:.2f}s"
+        )
     if args.output:
         result.save(args.output)
         print(f"front written to {args.output}")

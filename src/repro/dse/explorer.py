@@ -28,7 +28,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from time import perf_counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.asp.control import Control, Model
 from repro.asp.propagator import PropagatorInit, TheoryPropagator
@@ -100,6 +101,14 @@ class DominancePropagator(TheoryPropagator):
         #: Pruning statistics for the ablation benchmarks.
         self.pruned_partial = 0
         self.pruned_total = 0
+        #: Wall seconds spent in dominance checks (bounds + archive query).
+        self.prune_time = 0.0
+        # Cached (bounds, explanation) of the current assignment: the
+        # pseudo-Boolean parts only move when a watched literal fires
+        # (invalidated in propagate/undo) and the theory-variable parts
+        # only when the linear store's bound revision changes.
+        self._bound_cache: Optional[Tuple[Tuple[int, ...], List[int]]] = None
+        self._cache_revision = -1
 
     # -- setup -------------------------------------------------------------------
 
@@ -130,22 +139,29 @@ class DominancePropagator(TheoryPropagator):
 
     def bound_vector(self, solver: Solver) -> Tuple[Tuple[int, ...], List[int]]:
         """Lower-bound vector of the current assignment + explanation."""
+        revision = self._linear.store.revision
+        if self._bound_cache is not None and revision == self._cache_revision:
+            return self._bound_cache
         bounds: List[int] = []
         explanation: List[int] = []
         for objective in self.objectives:
             bound, reason = objective.lower_bound(solver)
             bounds.append(bound)
             explanation.extend(reason)
-        return tuple(bounds), explanation
+        self._bound_cache = (tuple(bounds), explanation)
+        self._cache_revision = self._linear.store.revision
+        return self._bound_cache
 
     def value_vector(self, solver: Solver) -> Tuple[int, ...]:
         """Exact objective vector on a total assignment."""
         return tuple(objective.value(solver) for objective in self.objectives)
 
     def _prune(self, solver: Solver, total: bool) -> bool:
+        started = perf_counter()
         bounds, explanation = self.bound_vector(solver)
         dominator = self.archive.find_weak_dominator(bounds)
         if dominator is None:
+            self.prune_time += perf_counter() - started
             return True
         if total:
             self.pruned_total += 1
@@ -153,12 +169,20 @@ class DominancePropagator(TheoryPropagator):
             self.pruned_partial += 1
         clause = [-lit for lit in dict.fromkeys(explanation) if lit != self._true_lit]
         solver.add_propagator_clause(clause)
+        self.prune_time += perf_counter() - started
         return False
 
     def propagate(self, solver: Solver, changes: Sequence[int]) -> bool:
+        if changes:
+            # A watched literal fired: the pseudo-Boolean bound parts may
+            # have moved even when the linear store's revision did not.
+            self._bound_cache = None
         if not self.partial_pruning:
             return True
         return self._prune(solver, total=False)
+
+    def undo(self, solver: Solver, level: int) -> None:
+        self._bound_cache = None
 
     def check(self, solver: Solver) -> bool:
         return self._prune(solver, total=True)
@@ -269,6 +293,14 @@ class DseStatistics:
     interrupted: bool = False
     #: Additive approximation factor (0 = exact).
     epsilon: int = 0
+    #: Wall seconds spent in boolean (unit) propagation.
+    time_boolean_propagation: float = 0.0
+    #: Wall seconds spent in theory propagator callbacks.
+    time_theory_propagation: float = 0.0
+    #: Wall seconds spent in dominance checks (subset of theory time).
+    time_dominance: float = 0.0
+    #: Per-worker breakdowns (parallel exploration only; empty otherwise).
+    per_worker: List[Dict[str, object]] = field(default_factory=list)
 
 
 @dataclass
@@ -312,6 +344,10 @@ class DseResult:
                 "wall_time": self.statistics.wall_time,
                 "interrupted": self.statistics.interrupted,
                 "epsilon": self.statistics.epsilon,
+                "time_boolean_propagation": self.statistics.time_boolean_propagation,
+                "time_theory_propagation": self.statistics.time_theory_propagation,
+                "time_dominance": self.statistics.time_dominance,
+                "per_worker": list(self.statistics.per_worker),
             },
         }
 
@@ -374,6 +410,8 @@ class ExactParetoExplorer:
         self._objective_phases = objective_phases
         self._fixed_bindings = dict(fixed_bindings or {})
         self._ground = False
+        self.models_enumerated = 0
+        self._pending_point: Optional[ParetoPoint] = None
 
     def ground(self) -> None:
         """Ground the instance (idempotent; run() calls this lazily).
@@ -387,72 +425,140 @@ class ExactParetoExplorer:
                 self._apply_objective_phases()
             self._ground = True
 
-    def run(self) -> DseResult:
-        """Enumerate the exact Pareto front."""
-        self.ground()
-        spec = self.instance.specification
-        names = tuple(o.name for o in self.instance.objectives)
-        stats = DseStatistics()
-        started = time.perf_counter()
-        solver = self.control.solver
-        true_lit = self.control.translation.true_lit
+    @property
+    def objective_names(self) -> Tuple[str, ...]:
+        return tuple(o.name for o in self.instance.objectives)
 
-        def on_model(model: Model) -> bool:
-            stats.models_enumerated += 1
-            vector = tuple(model.theory["objectives"][name] for name in names)
-            implementation = decode_model(spec, model)
-            implementation.objectives = dict(zip(names, vector))
-            if self._validate_models:
-                problems = validate(
-                    spec,
-                    implementation,
-                    serialized=self.instance.serialize,
-                    link_contention=self.instance.link_contention,
-                )
-                if problems:
-                    raise AssertionError(
-                        f"solver produced an infeasible implementation: {problems}"
-                    )
-            added = self.dominance.archive.add(vector, implementation)
-            assert added, (
-                "dominance propagation admitted a dominated point "
-                f"{vector} (archive: {self.dominance.archive.vectors()})"
-            )
-            solver.requeue_watch(true_lit, self.dominance)
-            return True
-
+    @staticmethod
+    def bind_assumptions(bindings: Dict[str, str]):
+        """Solve assumptions pinning ``task -> resource`` bindings."""
         from repro.asp.syntax import Function
 
-        assumptions = [
+        return [
             (Function("bind", (Function(task), Function(resource))), True)
-            for task, resource in sorted(self._fixed_bindings.items())
+            for task, resource in sorted(bindings.items())
         ]
 
-        while True:
-            # No blocking clauses: the archive point just added prunes the
-            # model (and its whole dominated region) via the propagator.
-            summary = self.control.solve(
-                on_model=on_model, models=1, block=False, assumptions=assumptions
+    def _on_model(self, model: Model) -> bool:
+        spec = self.instance.specification
+        names = self.objective_names
+        self.models_enumerated += 1
+        vector = tuple(model.theory["objectives"][name] for name in names)
+        implementation = decode_model(spec, model)
+        implementation.objectives = dict(zip(names, vector))
+        if self._validate_models:
+            problems = validate(
+                spec,
+                implementation,
+                serialized=self.instance.serialize,
+                link_contention=self.instance.link_contention,
             )
-            if not summary.satisfiable or summary.interrupted:
-                stats.interrupted = summary.interrupted
-                break
+            if problems:
+                raise AssertionError(
+                    f"solver produced an infeasible implementation: {problems}"
+                )
+        added = self.dominance.archive.add(vector, implementation)
+        assert added, (
+            "dominance propagation admitted a dominated point "
+            f"{vector} (archive: {self.dominance.archive.vectors()})"
+        )
+        self._pending_point = ParetoPoint(vector, implementation)
+        self.control.solver.requeue_watch(
+            self.control.translation.true_lit, self.dominance
+        )
+        return True
 
+    def solve_step(self, assumptions=()) -> Tuple[str, Optional[ParetoPoint]]:
+        """One incremental solver call under binding ``assumptions``.
+
+        Returns one of
+
+        * ``("model", point)`` — a new non-dominated point was found (and
+          added to the archive),
+        * ``("interrupted", None)`` — the conflict budget of the call ran
+          out; calling again resumes the search (learned clauses and the
+          archive persist), which is how the parallel workers interleave
+          archive synchronization with long dominance proofs,
+        * ``("exhausted", None)`` — the (sub)space holds no further
+          non-dominated points.
+        """
+        self.ground()
+        self._pending_point = None
+        # No blocking clauses: the archive point just added prunes the
+        # model (and its whole dominated region) via the propagator.
+        summary = self.control.solve(
+            on_model=self._on_model, models=1, block=False, assumptions=assumptions
+        )
+        if summary.satisfiable:
+            return "model", self._pending_point
+        if summary.interrupted:
+            return "interrupted", None
+        return "exhausted", None
+
+    def inject_points(self, points: Iterable[Tuple[Tuple[int, ...], object]]) -> int:
+        """Add foreign Pareto points (from other subspace searches).
+
+        Points dominated by the archive are dropped; accepted points make
+        the dominance propagator re-evaluate at the next fixpoint, so
+        they prune this explorer's remaining search.  Returns the number
+        of accepted points.  Sound for subspace exploration: pruning by a
+        point of the *global* front only removes candidates that are
+        weakly dominated globally.
+        """
+        self.ground()
+        accepted = 0
+        for vector, payload in points:
+            if self.dominance.archive.add(tuple(vector), payload):
+                accepted += 1
+        if accepted:
+            self.control.solver.requeue_watch(
+                self.control.translation.true_lit, self.dominance
+            )
+        return accepted
+
+    def front(self) -> List[Tuple[Tuple[int, ...], object]]:
+        """Current archive contents, sorted by vector."""
+        return sorted(self.dominance.archive, key=lambda item: item[0])
+
+    def collect_statistics(self, stats: Optional[DseStatistics] = None) -> DseStatistics:
+        """Fill search-effort counters from the solver and propagators."""
+        if stats is None:
+            stats = DseStatistics()
+        solver = self.control.solver
         stats.epsilon = self.epsilon
-        stats.wall_time = time.perf_counter() - started
+        stats.models_enumerated = self.models_enumerated
         stats.conflicts = solver.stats.conflicts
         stats.decisions = solver.stats.decisions
         stats.pruned_partial = self.dominance.pruned_partial
         stats.pruned_total = self.dominance.pruned_total
         stats.archive_comparisons = self.dominance.archive.comparisons
-        final = {
-            vector: payload for vector, payload in self.dominance.archive
-        }
+        stats.time_boolean_propagation = solver.stats.time_boolean
+        stats.time_theory_propagation = solver.stats.time_theory
+        stats.time_dominance = self.dominance.prune_time
+        return stats
+
+    def run(self) -> DseResult:
+        """Enumerate the exact Pareto front."""
+        self.ground()
+        stats = DseStatistics()
+        started = time.perf_counter()
+        models_before = self.models_enumerated
+        assumptions = self.bind_assumptions(self._fixed_bindings)
+        while True:
+            status, _point = self.solve_step(assumptions)
+            if status == "model":
+                continue
+            stats.interrupted = status == "interrupted"
+            break
+        self.collect_statistics(stats)
+        # Per-run model count (run() may be called again on an exhausted
+        # explorer; solver counters stay cumulative like before).
+        stats.models_enumerated = self.models_enumerated - models_before
+        stats.wall_time = time.perf_counter() - started
+        final = self.front()
         stats.pareto_points = len(final)
-        points = [
-            ParetoPoint(vector, payload) for vector, payload in sorted(final.items())
-        ]
-        return DseResult(names, points, stats)
+        points = [ParetoPoint(vector, payload) for vector, payload in final]
+        return DseResult(self.objective_names, points, stats)
 
     def _apply_objective_phases(self) -> None:
         """Objective-aware decision heuristics (Andres et al., LPNMR'15).
@@ -482,8 +588,21 @@ class ExactParetoExplorer:
 def explore(
     spec: Specification,
     objectives: Sequence[str] = ("latency", "energy", "cost"),
+    jobs: int = 1,
+    split_depth: Optional[int] = None,
     **kwargs,
 ) -> DseResult:
-    """Convenience one-call API: encode and explore ``spec``."""
+    """Convenience one-call API: encode and explore ``spec``.
+
+    ``jobs > 1`` (or an explicit ``split_depth``) switches to the
+    subspace-splitting parallel explorer; the front is identical either
+    way (see :mod:`repro.dse.parallel`).
+    """
     instance = encode(spec, objectives=objectives)
+    if jobs > 1 or split_depth is not None:
+        from repro.dse.parallel import ParallelParetoExplorer
+
+        return ParallelParetoExplorer(
+            instance, jobs=jobs, split_depth=split_depth, **kwargs
+        ).run()
     return ExactParetoExplorer(instance, **kwargs).run()

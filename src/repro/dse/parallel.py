@@ -1,0 +1,488 @@
+"""Parallel exact Pareto enumeration: subspace splitting + shared archive.
+
+The sequential :class:`~repro.dse.explorer.ExactParetoExplorer` already
+enumerates the exact front; this module splits the *design space* into
+disjoint subspaces and explores them with cooperating workers:
+
+1. **Guiding-path partition** — the encoding introduces an exactly-one
+   ``bind(T, R)`` choice per task, so fixing the bindings of the first
+   ``k`` branching tasks yields a partition of the design space into
+   disjoint *cubes* (:func:`derive_cubes`).  Every implementation lies in
+   exactly one cube, hence the union of the per-cube Pareto fronts,
+   filtered for dominance (:func:`~repro.dse.pareto.non_dominated_union`),
+   is the exact global front regardless of how cubes are distributed.
+
+2. **Workers** — each worker grounds its instance once and explores its
+   share of the cubes through assumption-based incremental solving;
+   learned clauses, dominance-pruning clauses, and the Pareto archive all
+   remain sound across cubes because they are consequences of the (cube
+   independent) program plus archive points.
+
+3. **Shared archive** — workers publish every Pareto point they find;
+   foreign points are injected into the local
+   :class:`~repro.dse.explorer.DominancePropagator` archive between
+   solver calls.  Injection can only *prune*: a partial assignment is cut
+   exactly when an archive point weakly dominates its objective lower
+   bound, and archive points are objective vectors of feasible
+   implementations, so anything pruned is weakly dominated globally and
+   cannot contribute a new front vector.  Because weak dominance includes
+   equality, a worker whose candidate ties a foreign vector skips a
+   duplicate, never a missing vector.  Solving is *chunked* by a per-call
+   conflict budget so workers deep in an UNSAT proof still synchronize.
+
+Exactness therefore does not depend on scheduling: the merged front is
+bit-for-bit the sequential front for any worker count, split depth, or
+interleaving (property-tested in ``tests/test_parallel.py``).
+"""
+
+from __future__ import annotations
+
+import queue
+import traceback
+from itertools import product
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dse.explorer import (
+    DseResult,
+    DseStatistics,
+    ExactParetoExplorer,
+    ParetoPoint,
+)
+from repro.dse.pareto import non_dominated_union
+from repro.synthesis.encoding import EncodedInstance
+from repro.synthesis.model import Specification
+
+__all__ = [
+    "binding_choices",
+    "auto_split_depth",
+    "derive_cubes",
+    "ParallelParetoExplorer",
+]
+
+#: Per-solver-call conflict budget between archive synchronization points.
+DEFAULT_CHUNK_CONFLICTS = 200
+
+
+def binding_choices(
+    spec: Specification, fixed_bindings: Optional[Dict[str, str]] = None
+) -> List[Tuple[str, List[str]]]:
+    """Splittable binding decisions as ``(task, resource options)`` pairs.
+
+    Mirrors the encoding's exactly-one ``bind/2`` choice rules, in task
+    declaration order; pinned tasks (``fixed_bindings``) and tasks with a
+    single mapping option carry no branching and are skipped.
+    """
+    pinned = frozenset(fixed_bindings or ())
+    choices: List[Tuple[str, List[str]]] = []
+    for task in spec.application.tasks:
+        if task.name in pinned:
+            continue
+        options = [option.resource for option in spec.options_of(task.name)]
+        if len(options) > 1:
+            choices.append((task.name, options))
+    return choices
+
+
+def auto_split_depth(
+    spec: Specification, jobs: int, fixed_bindings: Optional[Dict[str, str]] = None
+) -> int:
+    """Smallest split depth yielding at least ``2 * jobs`` cubes.
+
+    The factor two over-partitions so that static distribution still
+    balances when cube hardness is uneven.  Capped at the number of
+    branching tasks.
+    """
+    if jobs <= 1:
+        return 0
+    cubes = 1
+    for depth, (_task, options) in enumerate(
+        binding_choices(spec, fixed_bindings), start=1
+    ):
+        cubes *= len(options)
+        if cubes >= 2 * jobs:
+            return depth
+    return len(binding_choices(spec, fixed_bindings))
+
+
+def derive_cubes(
+    spec: Specification,
+    depth: int,
+    fixed_bindings: Optional[Dict[str, str]] = None,
+) -> List[Dict[str, str]]:
+    """Disjoint guiding-path cubes over the first ``depth`` binding choices.
+
+    Each cube is a ``task -> resource`` dict extending ``fixed_bindings``.
+    Because every task's binding choice is exactly-one, the cubes of a
+    given depth partition the design space (restricted to the pinned
+    bindings): each implementation satisfies exactly one cube.  Depth 0
+    (or no branching tasks) yields the single cube ``fixed_bindings``.
+    """
+    base = dict(fixed_bindings or {})
+    choices = binding_choices(spec, fixed_bindings)[: max(depth, 0)]
+    if not choices:
+        return [base]
+    tasks = [task for task, _options in choices]
+    cubes: List[Dict[str, str]] = []
+    for combo in product(*(options for _task, options in choices)):
+        cube = dict(base)
+        cube.update(zip(tasks, combo))
+        cubes.append(cube)
+    return cubes
+
+
+class _CubeWorker:
+    """Explores a list of cubes with one incremental explorer.
+
+    The explorer grounds once; cubes are entered via solve assumptions,
+    so learned clauses and the dominance archive persist across cubes.
+    Solving is chunked by a per-call conflict budget
+    (``chunk_conflicts``) so the surrounding loop can inject foreign
+    points even while the solver is deep inside an UNSAT proof;
+    ``conflict_limit`` is the worker's *total* budget (the run reports
+    ``interrupted`` when it is hit).
+    """
+
+    def __init__(
+        self,
+        instance: EncodedInstance,
+        cubes: Sequence[Dict[str, str]],
+        explorer_options: Optional[Dict[str, object]] = None,
+        chunk_conflicts: Optional[int] = DEFAULT_CHUNK_CONFLICTS,
+        conflict_limit: Optional[int] = None,
+    ):
+        options = dict(explorer_options or {})
+        options.pop("fixed_bindings", None)  # baked into the cubes
+        options.pop("conflict_limit", None)
+        self.explorer = ExactParetoExplorer(
+            instance, conflict_limit=chunk_conflicts, **options
+        )
+        self.cubes = [dict(cube) for cube in cubes]
+        self._assumptions = [
+            self.explorer.bind_assumptions(cube) for cube in self.cubes
+        ]
+        self._cube_index = 0
+        self._conflict_limit = conflict_limit
+        self.done = not self.cubes
+        self.interrupted = False
+        self.injected = 0
+        self.wall_time = 0.0
+
+    def inject(self, points) -> int:
+        accepted = self.explorer.inject_points(points)
+        self.injected += accepted
+        return accepted
+
+    def step(self) -> Tuple[str, Optional[ParetoPoint]]:
+        """Advance by one chunked solver call.
+
+        Returns ``("model", point)`` for a newly found Pareto point,
+        ``("chunk", None)`` when a budget slice was spent or a cube was
+        exhausted (call again), or ``("done", None)``.
+        """
+        if self.done:
+            return ("done", None)
+        started = perf_counter()
+        status, point = self.explorer.solve_step(
+            self._assumptions[self._cube_index]
+        )
+        self.wall_time += perf_counter() - started
+        if status == "model":
+            return ("model", point)
+        if status == "interrupted":
+            if (
+                self._conflict_limit is not None
+                and self.explorer.control.solver.stats.conflicts
+                >= self._conflict_limit
+            ):
+                self.interrupted = True
+                self.done = True
+                return ("done", None)
+            return ("chunk", None)
+        # Cube exhausted: its subspace holds no further front points.
+        self._cube_index += 1
+        if self._cube_index >= len(self.cubes):
+            self.done = True
+            return ("done", None)
+        return ("chunk", None)
+
+    def report(self, worker_id: int) -> Dict[str, object]:
+        stats = self.explorer.collect_statistics()
+        front = self.explorer.front()
+        return {
+            "worker": worker_id,
+            "cubes": len(self.cubes),
+            "front": front,
+            "interrupted": self.interrupted,
+            "injected": self.injected,
+            "statistics": {
+                "models_enumerated": stats.models_enumerated,
+                "pareto_points_local": len(front),
+                "conflicts": stats.conflicts,
+                "decisions": stats.decisions,
+                "pruned_partial": stats.pruned_partial,
+                "pruned_total": stats.pruned_total,
+                "archive_comparisons": stats.archive_comparisons,
+                "time_boolean_propagation": stats.time_boolean_propagation,
+                "time_theory_propagation": stats.time_theory_propagation,
+                "time_dominance": stats.time_dominance,
+                "wall_time": self.wall_time,
+            },
+        }
+
+
+def _worker_main(
+    worker_id: int,
+    instance: EncodedInstance,
+    cubes: Sequence[Dict[str, str]],
+    explorer_options: Dict[str, object],
+    chunk_conflicts: Optional[int],
+    conflict_limit: Optional[int],
+    share: bool,
+    inject_queue,
+    point_queue,
+) -> None:
+    """Process entry point: explore ``cubes``, stream points, report."""
+    try:
+        worker = _CubeWorker(
+            instance, cubes, explorer_options, chunk_conflicts, conflict_limit
+        )
+        while True:
+            if share:
+                foreign = []
+                while True:
+                    try:
+                        foreign.append(inject_queue.get_nowait())
+                    except queue.Empty:
+                        break
+                if foreign:
+                    worker.inject(foreign)
+            status, point = worker.step()
+            if status == "model":
+                point_queue.put(
+                    ("point", worker_id, point.vector, point.implementation)
+                )
+            elif status == "done":
+                break
+        point_queue.put(("done", worker_id, worker.report(worker_id)))
+    except Exception:  # surfaced in the parent as a RuntimeError
+        point_queue.put(("error", worker_id, traceback.format_exc()))
+
+
+class ParallelParetoExplorer:
+    """Exact Pareto enumeration over subspace-splitting workers.
+
+    Produces the same front as :class:`ExactParetoExplorer` — identical
+    vectors and count — for every ``jobs``/``split_depth`` combination
+    (witness implementations per vector may differ, as in any exact
+    enumerator).  Two backends:
+
+    * ``"process"`` (default) — one OS process per worker
+      (``multiprocessing``), points shared through queues;
+    * ``"inline"`` — deterministic in-process round-robin over the same
+      worker machinery; useful for debugging and reproducible tests.
+
+    ``share_archive=False`` isolates the workers' archives (merge still
+    restores exactness); the ablation benchmark uses it to measure how
+    much cross-worker pruning saves.  Remaining keyword arguments are
+    forwarded to each worker's :class:`ExactParetoExplorer` (``archive``,
+    ``partial_pruning``, ``validate_models``, ...).  ``epsilon > 0`` is
+    forwarded too, but only ``epsilon=0`` guarantees a bit-identical
+    front; the parallel epsilon front is still a valid additive-epsilon
+    approximation (see ``docs/PARALLEL.md``).
+    """
+
+    def __init__(
+        self,
+        instance: EncodedInstance,
+        jobs: int = 2,
+        split_depth: Optional[int] = None,
+        backend: str = "process",
+        chunk_conflicts: Optional[int] = DEFAULT_CHUNK_CONFLICTS,
+        share_archive: bool = True,
+        conflict_limit: Optional[int] = None,
+        fixed_bindings: Optional[Dict[str, str]] = None,
+        **explorer_options,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if backend not in ("process", "inline"):
+            raise ValueError(f"unknown backend {backend!r}")
+        self.instance = instance
+        self.jobs = jobs
+        self.split_depth = split_depth
+        self.backend = backend
+        self.chunk_conflicts = chunk_conflicts
+        self.share_archive = share_archive
+        self.conflict_limit = conflict_limit
+        self.fixed_bindings = dict(fixed_bindings or {})
+        self.explorer_options = dict(explorer_options)
+        self.epsilon = int(explorer_options.get("epsilon") or 0)
+
+    def cubes(self) -> List[Dict[str, str]]:
+        """The guiding-path cubes this run partitions the space into."""
+        spec = self.instance.specification
+        depth = self.split_depth
+        if depth is None:
+            depth = auto_split_depth(spec, self.jobs, self.fixed_bindings)
+        return derive_cubes(spec, depth, self.fixed_bindings)
+
+    def run(self) -> DseResult:
+        started = perf_counter()
+        cubes = self.cubes()
+        jobs = max(1, min(self.jobs, len(cubes)))
+        # Static round-robin keeps the cube -> worker map deterministic,
+        # which both backends rely on for reproducible reports.
+        assignments = [cubes[worker::jobs] for worker in range(jobs)]
+        if self.backend == "inline":
+            reports = self._run_inline(assignments)
+        else:
+            reports = self._run_processes(assignments)
+        return self._merge(reports, perf_counter() - started)
+
+    # -- backends ----------------------------------------------------------------
+
+    def _run_inline(
+        self, assignments: List[List[Dict[str, str]]]
+    ) -> Dict[int, Dict[str, object]]:
+        """Deterministic round-robin over in-process workers."""
+        workers = [
+            _CubeWorker(
+                self.instance,
+                cubes,
+                self.explorer_options,
+                self.chunk_conflicts,
+                self.conflict_limit,
+            )
+            for cubes in assignments
+        ]
+        pending_points: List[List[Tuple[Tuple[int, ...], object]]] = [
+            [] for _worker in workers
+        ]
+        active = [wid for wid, worker in enumerate(workers) if not worker.done]
+        while active:
+            for wid in list(active):
+                worker = workers[wid]
+                if self.share_archive and pending_points[wid]:
+                    worker.inject(pending_points[wid])
+                    pending_points[wid] = []
+                status, point = worker.step()
+                if status == "model" and self.share_archive:
+                    for other, other_worker in enumerate(workers):
+                        if other != wid and not other_worker.done:
+                            pending_points[other].append(
+                                (point.vector, point.implementation)
+                            )
+                elif status == "done":
+                    active.remove(wid)
+        return {wid: worker.report(wid) for wid, worker in enumerate(workers)}
+
+    def _run_processes(
+        self, assignments: List[List[Dict[str, str]]]
+    ) -> Dict[int, Dict[str, object]]:
+        """One process per worker; the parent brokers point exchange."""
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        point_queue = context.Queue()
+        inject_queues = [context.Queue() for _assignment in assignments]
+        processes = [
+            context.Process(
+                target=_worker_main,
+                args=(
+                    wid,
+                    self.instance,
+                    cubes,
+                    self.explorer_options,
+                    self.chunk_conflicts,
+                    self.conflict_limit,
+                    self.share_archive,
+                    inject_queues[wid],
+                    point_queue,
+                ),
+                daemon=True,
+            )
+            for wid, cubes in enumerate(assignments)
+        ]
+        for process in processes:
+            process.start()
+        pending = set(range(len(assignments)))
+        reports: Dict[int, Dict[str, object]] = {}
+        try:
+            while pending:
+                try:
+                    message = point_queue.get(timeout=1.0)
+                except queue.Empty:
+                    for wid in pending:
+                        if not processes[wid].is_alive():
+                            raise RuntimeError(
+                                f"parallel DSE worker {wid} died "
+                                f"(exit code {processes[wid].exitcode})"
+                            )
+                    continue
+                kind = message[0]
+                if kind == "point":
+                    _kind, wid, vector, implementation = message
+                    if self.share_archive:
+                        for other in pending:
+                            if other != wid:
+                                inject_queues[other].put((vector, implementation))
+                elif kind == "done":
+                    reports[message[1]] = message[2]
+                    pending.discard(message[1])
+                else:  # "error"
+                    raise RuntimeError(
+                        f"parallel DSE worker {message[1]} failed:\n{message[2]}"
+                    )
+        finally:
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            for process in processes:
+                process.join()
+            for q in [point_queue, *inject_queues]:
+                q.close()
+                q.cancel_join_thread()
+        return reports
+
+    # -- merge -------------------------------------------------------------------
+
+    def _merge(
+        self, reports: Dict[int, Dict[str, object]], wall_time: float
+    ) -> DseResult:
+        """Non-dominated union of the worker fronts + aggregated stats."""
+        ordered = [reports[wid] for wid in sorted(reports)]
+        merged = non_dominated_union(*(report["front"] for report in ordered))
+        stats = DseStatistics()
+        stats.wall_time = wall_time
+        stats.epsilon = self.epsilon
+        stats.pareto_points = len(merged)
+        for report in ordered:
+            inner = report["statistics"]
+            stats.models_enumerated += inner["models_enumerated"]
+            stats.conflicts += inner["conflicts"]
+            stats.decisions += inner["decisions"]
+            stats.pruned_partial += inner["pruned_partial"]
+            stats.pruned_total += inner["pruned_total"]
+            stats.archive_comparisons += inner["archive_comparisons"]
+            stats.time_boolean_propagation += inner["time_boolean_propagation"]
+            stats.time_theory_propagation += inner["time_theory_propagation"]
+            stats.time_dominance += inner["time_dominance"]
+            stats.interrupted = stats.interrupted or report["interrupted"]
+            stats.per_worker.append(
+                {
+                    "worker": report["worker"],
+                    "cubes": report["cubes"],
+                    "injected": report["injected"],
+                    "interrupted": report["interrupted"],
+                    **inner,
+                }
+            )
+        names = tuple(objective.name for objective in self.instance.objectives)
+        points = [
+            ParetoPoint(tuple(vector), payload) for vector, payload in merged
+        ]
+        return DseResult(names, points, stats)

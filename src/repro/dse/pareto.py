@@ -13,9 +13,16 @@ pairwise comparisons so the benchmark harness can contrast them
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import chain
 from typing import Dict, Generic, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
 
-__all__ = ["dominates", "weakly_dominates", "pareto_filter", "ListArchive"]
+__all__ = [
+    "dominates",
+    "weakly_dominates",
+    "pareto_filter",
+    "non_dominated_union",
+    "ListArchive",
+]
 
 Vector = Tuple[int, ...]
 Payload = TypeVar("Payload")
@@ -43,6 +50,21 @@ def pareto_filter(points: Iterable[Tuple[Vector, Payload]]) -> List[Tuple[Vector
         kept.append((vector, payload))
     kept.sort(key=lambda item: item[0])
     return kept
+
+
+def non_dominated_union(
+    *fronts: Iterable[Tuple[Vector, Payload]]
+) -> List[Tuple[Vector, Payload]]:
+    """Non-dominated union of several fronts (the subspace-merge reduction).
+
+    For any partition of a design space into disjoint subspaces, the
+    union of the per-subspace Pareto fronts filtered for dominance is the
+    exact global front — this is the merge step of the parallel explorer.
+    Accepts any iterables of ``(vector, payload)`` pairs (archives
+    iterate that way); for duplicate vectors the payload from the
+    earliest front wins, so pass fronts in a deterministic order.
+    """
+    return pareto_filter(chain.from_iterable(fronts))
 
 
 class ListArchive(Generic[Payload]):

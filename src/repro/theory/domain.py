@@ -47,6 +47,10 @@ class IntervalStore:
         self._lb_reason: List[Tuple[int, ...]] = []
         self._ub_reason: List[Tuple[int, ...]] = []
         self._trail: List[_Entry] = []
+        #: Monotone counter bumped on every bound change (including undo);
+        #: equal revisions guarantee identical bounds, so readers that
+        #: derive values from the store can cache per revision.
+        self.revision = 0
 
     # -- variables --------------------------------------------------------------
 
@@ -111,6 +115,7 @@ class IntervalStore:
             )
         self._lb[var] = value
         self._lb_reason[var] = tuple(reason)
+        self.revision += 1
         return True
 
     def set_ub(
@@ -125,6 +130,7 @@ class IntervalStore:
             )
         self._ub[var] = value
         self._ub_reason[var] = tuple(reason)
+        self.revision += 1
         return True
 
     # -- backtracking -----------------------------------------------------------
@@ -133,6 +139,7 @@ class IntervalStore:
         """Restore all bounds recorded above ``level``."""
         while self._trail and self._trail[-1].level > level:
             entry = self._trail.pop()
+            self.revision += 1
             if entry.is_lower:
                 self._lb[entry.var] = entry.old_bound
                 self._lb_reason[entry.var] = entry.old_reason

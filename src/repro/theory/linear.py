@@ -286,14 +286,20 @@ class LinearPropagator(TheoryPropagator):
     # ------------------------------------------------------------------
 
     def propagate(self, solver: Solver, changes: Sequence[int]) -> bool:
-        queue: deque = deque()
-        queued: Set[int] = set()
+        # Fast path: nothing to do when no changed literal is watched by a
+        # constraint — bail out before allocating the queue/set pair (this
+        # runs on every boolean propagation fixpoint).
+        by_lit = self._by_lit
+        indices: List[int] = []
         for lit in changes:
-            for index in self._by_lit.get(lit, ()):
-                if index not in queued:
-                    queued.add(index)
-                    queue.append(index)
-        return self._fixpoint(solver, queue, queued)
+            bucket = by_lit.get(lit)
+            if bucket:
+                indices.extend(bucket)
+        if not indices:
+            return True
+        if len(indices) > 1:
+            indices = list(dict.fromkeys(indices))
+        return self._fixpoint(solver, deque(indices), set(indices))
 
     def check(self, solver: Solver) -> bool:
         queue = deque(range(len(self._constraints)))

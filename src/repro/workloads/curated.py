@@ -29,7 +29,12 @@ from repro.workloads.generator import NamedInstance, WorkloadConfig
 
 __all__ = ["curated", "curated_instances", "CURATED_NAMES"]
 
-CURATED_NAMES = ("consumer_jpeg", "telecom_modem", "auto_engine")
+CURATED_NAMES = (
+    "consumer_jpeg",
+    "telecom_modem",
+    "auto_engine",
+    "network_firewall",
+)
 
 
 def _bus_platform(pes: List[Resource], delay: int = 1, energy: int = 1):
@@ -153,10 +158,51 @@ def _auto_engine() -> Specification:
     return Specification(application, _bus_platform(pes), _mappings(table))
 
 
+def _network_firewall() -> Specification:
+    """Packet-processing pipeline: rx through crypto/QoS to tx.
+
+    Platform: two symmetric NPUs, a general-purpose RISC core, and a
+    crypto accelerator on a bus.  Ten stages with many two-way and
+    three-way mapping choices make this the largest curated design space
+    — the stress instance for the parallel explorer.
+    """
+    stages = [
+        "rx", "parse", "classify", "nat", "lookup",
+        "acl", "crypto", "qos", "shape", "tx",
+    ]
+    application = Application(
+        tasks=tuple(Task(s) for s in stages),
+        messages=tuple(
+            Message(f"n{i}", a, b, size=2 if i in (0, 1, 6) else 1)
+            for i, (a, b) in enumerate(zip(stages, stages[1:]))
+        ),
+    )
+    pes = [
+        Resource("npu_a", cost=60),
+        Resource("npu_b", cost=60),
+        Resource("risc", cost=30),
+        Resource("cryptoacc", cost=45),
+    ]
+    table = {
+        "rx":       {"npu_a": (1, 2), "npu_b": (1, 2), "risc": (2, 2)},
+        "parse":    {"npu_a": (2, 4), "npu_b": (2, 4), "risc": (5, 5)},
+        "classify": {"npu_a": (3, 6), "npu_b": (3, 6), "risc": (7, 8)},
+        "nat":      {"npu_a": (2, 4), "npu_b": (2, 4), "risc": (4, 4)},
+        "lookup":   {"npu_a": (2, 5), "npu_b": (2, 5), "risc": (6, 6)},
+        "acl":      {"npu_a": (2, 4), "risc": (4, 5)},
+        "crypto":   {"cryptoacc": (2, 3), "npu_a": (8, 14), "risc": (15, 18)},
+        "qos":      {"npu_b": (2, 4), "risc": (4, 4)},
+        "shape":    {"npu_b": (2, 3), "risc": (3, 3)},
+        "tx":       {"npu_a": (1, 2), "npu_b": (1, 2), "risc": (2, 2)},
+    }
+    return Specification(application, _bus_platform(pes), _mappings(table))
+
+
 _BUILDERS = {
     "consumer_jpeg": _consumer_jpeg,
     "telecom_modem": _telecom_modem,
     "auto_engine": _auto_engine,
+    "network_firewall": _network_firewall,
 }
 
 
@@ -172,6 +218,12 @@ def curated_instances() -> List[NamedInstance]:
     """All curated instances wrapped like generator suites."""
     out = []
     for name in CURATED_NAMES:
-        config = WorkloadConfig(tasks=6, seed=0, platform="bus", platform_size=(3, 0))
-        out.append(NamedInstance(name, config, curated(name)))
+        spec = curated(name)
+        config = WorkloadConfig(
+            tasks=len(spec.application.tasks),
+            seed=0,
+            platform="bus",
+            platform_size=(len(spec.architecture.resources) - 1, 0),
+        )
+        out.append(NamedInstance(name, config, spec))
     return out

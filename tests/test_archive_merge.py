@@ -1,0 +1,109 @@
+"""Property tests for the subspace-merge reduction.
+
+The parallel explorer relies on one algebraic fact: for *any* partition
+of a point set, the non-dominated union of the per-part fronts equals
+the front of the whole set.  These tests establish it for random vectors
+and partitions, through every archive implementation the explorer can be
+configured with.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse.approximation import EpsilonArchive
+from repro.dse.pareto import (
+    ListArchive,
+    dominates,
+    non_dominated_union,
+    pareto_filter,
+    weakly_dominates,
+)
+from repro.dse.quadtree import QuadTreeArchive
+
+ARCHIVES = {
+    "list": ListArchive,
+    "quadtree": QuadTreeArchive,
+    "epsilon0": lambda: EpsilonArchive(0),
+}
+
+
+@st.composite
+def points_and_partition(draw):
+    """Random 3-objective vectors plus an arbitrary partition of them."""
+    vectors = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, 12), st.integers(0, 12), st.integers(0, 12)
+            ),
+            max_size=24,
+        )
+    )
+    parts = draw(st.integers(1, 4))
+    assignment = [draw(st.integers(0, parts - 1)) for _vector in vectors]
+    return vectors, parts, assignment
+
+
+def archive_front(factory, points):
+    """Insert ``points`` into a fresh archive; return its sorted contents."""
+    archive = factory()
+    for index, vector in enumerate(points):
+        archive.add(vector, ("witness", index))
+    return sorted(archive, key=lambda item: item[0])
+
+
+@pytest.mark.parametrize("kind", sorted(ARCHIVES))
+@given(data=points_and_partition())
+@settings(max_examples=60, deadline=None)
+def test_split_merge_equals_global_front(kind, data):
+    vectors, parts, assignment = data
+    factory = ARCHIVES[kind]
+    per_part = [
+        archive_front(
+            factory,
+            [v for v, part in zip(vectors, assignment) if part == p],
+        )
+        for p in range(parts)
+    ]
+    merged = non_dominated_union(*per_part)
+    expected = pareto_filter((v, None) for v in vectors)
+    assert [v for v, _payload in merged] == [v for v, _payload in expected]
+
+
+@given(data=points_and_partition())
+@settings(max_examples=60, deadline=None)
+def test_merged_front_is_sound_and_complete(data):
+    vectors, parts, assignment = data
+    per_part = [
+        pareto_filter(
+            (v, None) for v, part in zip(vectors, assignment) if part == p
+        )
+        for p in range(parts)
+    ]
+    merged = [v for v, _payload in non_dominated_union(*per_part)]
+    # Mutually non-dominated...
+    for a in merged:
+        assert not any(dominates(b, a) for b in merged)
+    # ...and every input point is weakly dominated by some front point.
+    for v in vectors:
+        assert any(weakly_dominates(a, v) for a in merged)
+
+
+@given(data=points_and_partition(), epsilon=st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_epsilon_merge_keeps_coverage(data, epsilon):
+    """Merging per-part epsilon-archives preserves the epsilon guarantee."""
+    vectors, parts, assignment = data
+    per_part = [
+        archive_front(
+            lambda: EpsilonArchive(epsilon),
+            [v for v, part in zip(vectors, assignment) if part == p],
+        )
+        for p in range(parts)
+    ]
+    merged = [v for v, _payload in non_dominated_union(*per_part)]
+    for true_point, _payload in pareto_filter((v, None) for v in vectors):
+        assert any(
+            all(a_i <= p_i + epsilon for a_i, p_i in zip(a, true_point))
+            for a in merged
+        ), (true_point, merged)

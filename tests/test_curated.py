@@ -9,11 +9,22 @@ from repro.synthesis.solution import validate
 from repro.workloads.curated import CURATED_NAMES, curated, curated_instances
 
 
+EXPECTED_TASKS = {
+    "consumer_jpeg": 6,
+    "telecom_modem": 6,
+    "auto_engine": 6,
+    "network_firewall": 10,
+}
+
+
 class TestConstruction:
     @pytest.mark.parametrize("name", CURATED_NAMES)
     def test_valid_specifications(self, name):
         spec = curated(name)
-        assert spec.summary()["tasks"] == 6
+        assert spec.summary()["tasks"] == EXPECTED_TASKS[name]
+
+    def test_all_names_have_expected_counts(self):
+        assert set(EXPECTED_TASKS) == set(CURATED_NAMES)
 
     def test_unknown_name(self):
         with pytest.raises(KeyError):
@@ -22,6 +33,8 @@ class TestConstruction:
     def test_instances_wrapper(self):
         instances = curated_instances()
         assert [i.name for i in instances] == list(CURATED_NAMES)
+        for instance in instances:
+            assert instance.config.tasks == EXPECTED_TASKS[instance.name]
 
     def test_domain_restrictions_respected(self):
         # The monitor task is RISC-only in the telecom instance.

@@ -1,0 +1,216 @@
+"""Parallel exact Pareto enumeration: partitioning and equivalence.
+
+The load-bearing property is *exactness*: for every curated workload the
+parallel explorer returns bit-for-bit the sequential front — same
+vectors, same count — for any worker count, split depth, backend, and
+archive-sharing mode.
+"""
+
+import json
+
+import pytest
+
+from repro.dse.explorer import ExactParetoExplorer, explore
+from repro.dse.parallel import (
+    ParallelParetoExplorer,
+    auto_split_depth,
+    binding_choices,
+    derive_cubes,
+)
+from repro.synthesis.encoding import encode
+from repro.workloads.curated import CURATED_NAMES, curated
+
+
+@pytest.fixture(scope="module")
+def sequential_fronts():
+    """Reference fronts (vectors) from the sequential explorer."""
+    return {
+        name: ExactParetoExplorer(encode(curated(name))).run().vectors()
+        for name in CURATED_NAMES
+    }
+
+
+class TestCubes:
+    def test_binding_choices_skip_forced_and_pinned(self):
+        spec = curated("telecom_modem")
+        choices = dict(binding_choices(spec))
+        assert "monitor" not in choices  # single mapping option
+        assert "fft" in choices
+        assert "fft" not in dict(binding_choices(spec, {"fft": "dsp_a"}))
+
+    def test_cubes_enumerate_the_choice_product(self):
+        spec = curated("consumer_jpeg")
+        for depth in range(4):
+            cubes = derive_cubes(spec, depth)
+            expected = 1
+            for _task, options in binding_choices(spec)[:depth]:
+                expected *= len(options)
+            assert len(cubes) == expected
+            # Same task set per cube + unique combinations = a partition
+            # of the design space (each binding satisfies exactly one).
+            keysets = {frozenset(cube) for cube in cubes}
+            assert len(keysets) == 1
+            assert len({tuple(sorted(c.items())) for c in cubes}) == len(cubes)
+
+    def test_depth_zero_is_the_single_base_cube(self):
+        spec = curated("auto_engine")
+        assert derive_cubes(spec, 0) == [{}]
+        assert derive_cubes(spec, 0, {"fuse": "core"}) == [{"fuse": "core"}]
+
+    def test_cubes_extend_pinned_bindings(self):
+        spec = curated("auto_engine")
+        cubes = derive_cubes(spec, 2, {"fuse": "core"})
+        assert all(cube["fuse"] == "core" for cube in cubes)
+
+    def test_auto_split_depth_overpartitions(self):
+        spec = curated("network_firewall")
+        for jobs in (2, 4, 8):
+            depth = auto_split_depth(spec, jobs)
+            assert len(derive_cubes(spec, depth)) >= 2 * jobs
+        assert auto_split_depth(spec, 1) == 0
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("jobs", (2, 4))
+    @pytest.mark.parametrize("name", CURATED_NAMES)
+    def test_process_front_matches_sequential(
+        self, name, jobs, sequential_fronts
+    ):
+        result = ParallelParetoExplorer(encode(curated(name)), jobs=jobs).run()
+        assert result.vectors() == sequential_fronts[name]
+        assert result.statistics.pareto_points == len(sequential_fronts[name])
+        assert not result.statistics.interrupted
+
+    def test_inline_backend_matches_and_is_deterministic(
+        self, sequential_fronts
+    ):
+        runs = [
+            ParallelParetoExplorer(
+                encode(curated("auto_engine")), jobs=3, backend="inline"
+            ).run()
+            for _repeat in range(2)
+        ]
+        assert runs[0].vectors() == sequential_fronts["auto_engine"]
+        assert runs[1].vectors() == sequential_fronts["auto_engine"]
+
+        def effort(result):
+            return [
+                {
+                    key: value
+                    for key, value in entry.items()
+                    if not key.startswith("time") and key != "wall_time"
+                }
+                for entry in result.statistics.per_worker
+            ]
+
+        assert effort(runs[0]) == effort(runs[1])
+
+    @pytest.mark.parametrize("depth", (1, 2, 3))
+    def test_explicit_split_depth(self, depth, sequential_fronts):
+        result = ParallelParetoExplorer(
+            encode(curated("telecom_modem")),
+            jobs=2,
+            split_depth=depth,
+            backend="inline",
+        ).run()
+        assert result.vectors() == sequential_fronts["telecom_modem"]
+
+    def test_isolated_archives_stay_exact(self, sequential_fronts):
+        result = ParallelParetoExplorer(
+            encode(curated("consumer_jpeg")),
+            jobs=2,
+            share_archive=False,
+            backend="inline",
+        ).run()
+        assert result.vectors() == sequential_fronts["consumer_jpeg"]
+
+    def test_explore_dispatches_on_jobs(self, sequential_fronts):
+        result = explore(curated("consumer_jpeg"), jobs=2, backend="inline")
+        assert result.vectors() == sequential_fronts["consumer_jpeg"]
+        assert result.statistics.per_worker
+
+
+class TestInjection:
+    def test_injected_utopia_point_prunes_everything(self):
+        explorer = ExactParetoExplorer(encode(curated("auto_engine")))
+        assert explorer.inject_points([((0, 0, 0), None)]) == 1
+        # Weakly dominated foreign points are dropped on arrival.
+        assert explorer.inject_points([((5, 5, 5), None)]) == 0
+        status, point = explorer.solve_step()
+        assert (status, point) == ("exhausted", None)
+        assert explorer.models_enumerated == 0
+
+    def test_chunked_stepping_resumes(self):
+        explorer = ExactParetoExplorer(
+            encode(curated("consumer_jpeg")), conflict_limit=5
+        )
+        reference = ExactParetoExplorer(encode(curated("consumer_jpeg"))).run()
+        statuses = set()
+        for _step in range(100_000):
+            status, _point = explorer.solve_step()
+            statuses.add(status)
+            if status == "exhausted":
+                break
+        assert status == "exhausted"
+        assert "interrupted" in statuses  # the tiny budget actually chunked
+        assert [v for v, _p in explorer.front()] == reference.vectors()
+
+
+class TestStatistics:
+    def test_per_worker_statistics_reported_and_serializable(self):
+        result = ParallelParetoExplorer(
+            encode(curated("auto_engine")), jobs=2, backend="inline"
+        ).run()
+        stats = result.statistics
+        assert len(stats.per_worker) == 2
+        for entry in stats.per_worker:
+            assert {
+                "worker",
+                "cubes",
+                "injected",
+                "models_enumerated",
+                "conflicts",
+                "decisions",
+                "wall_time",
+            } <= set(entry)
+        payload = result.to_dict()
+        assert payload["statistics"]["per_worker"] == stats.per_worker
+        json.dumps(payload)
+
+    def test_sequential_timing_counters_populated(self):
+        result = ExactParetoExplorer(encode(curated("auto_engine"))).run()
+        stats = result.statistics
+        assert stats.time_boolean_propagation > 0
+        assert stats.time_theory_propagation > 0
+        assert stats.time_dominance > 0
+        serialized = result.to_dict()["statistics"]
+        for key in (
+            "time_boolean_propagation",
+            "time_theory_propagation",
+            "time_dominance",
+        ):
+            assert serialized[key] == pytest.approx(getattr(stats, key))
+
+
+class TestCli:
+    def test_jobs_flag_smoke(self, capsys, tmp_path):
+        from repro.dse.__main__ import main
+
+        output = tmp_path / "front.json"
+        code = main(
+            [
+                "--tasks", "4",
+                "--seed", "1",
+                "--platform", "bus",
+                "--size", "3",
+                "--jobs", "2",
+                "--backend", "inline",
+                "--output", str(output),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "worker 0:" in printed
+        data = json.loads(output.read_text())
+        assert data["statistics"]["per_worker"]
+        assert data["front"]
