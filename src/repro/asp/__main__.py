@@ -115,6 +115,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"Conflicts: {stats.conflicts}  Decisions: {stats.decisions}  "
             f"Restarts: {stats.restarts}  Learned: {stats.learned}"
         )
+        grounding = control.ground_program.grounding
+        if grounding is not None:
+            print(
+                f"Grounding: {control.grounding_seconds:.3f}s  "
+                f"Instantiations: {grounding.instantiations}  "
+                f"Delta rounds: {grounding.delta_rounds}"
+                + ("  (cache hit)" if control.ground_cache_hit else "")
+            )
     return 0 if summary.satisfiable else 1
 
 

@@ -19,6 +19,7 @@ functionally determined and need no blocking).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -31,7 +32,96 @@ from repro.asp.solver import Solver, SolverStatistics
 from repro.asp.syntax import Function, Number
 from repro.asp.unfounded import UnfoundedSetPropagator
 
-__all__ = ["Control", "Model", "SolveSummary"]
+__all__ = [
+    "Control",
+    "Model",
+    "SolveSummary",
+    "ground_text",
+    "clear_ground_cache",
+    "ground_cache_info",
+]
+
+
+# ---------------------------------------------------------------------------
+# Shared ground-program cache
+# ---------------------------------------------------------------------------
+
+#: Maximum number of ground programs retained, keyed on program text.
+GROUND_CACHE_SIZE = 16
+
+_ground_cache: "OrderedDict[Tuple[str, str], GroundProgram]" = OrderedDict()
+_ground_cache_hits = 0
+_ground_cache_misses = 0
+
+
+def clear_ground_cache() -> None:
+    """Drop all cached ground programs (tests; memory pressure)."""
+    global _ground_cache_hits, _ground_cache_misses
+    _ground_cache.clear()
+    _ground_cache_hits = 0
+    _ground_cache_misses = 0
+
+
+def ground_cache_info() -> Dict[str, int]:
+    """Hit/miss/size counters of the shared ground-program cache."""
+    return {
+        "hits": _ground_cache_hits,
+        "misses": _ground_cache_misses,
+        "size": len(_ground_cache),
+        "maxsize": GROUND_CACHE_SIZE,
+    }
+
+
+def _ground_text_cached(
+    text: str, cache: bool, mode: str
+) -> Tuple[GroundProgram, bool]:
+    """Ground ``text`` into a :class:`GroundProgram`; returns (program, hit).
+
+    The LRU is keyed on the exact program text (plus grounding mode), so
+    repeated ``explore()``/``Control`` runs over the same instance —
+    benchmark repetitions, parallel workers on one machine, test
+    fixtures — instantiate it once.  Sharing is safe because nothing
+    downstream mutates a :class:`GroundProgram` (the translator only
+    reads it; the dependency-graph cache is idempotent).
+    """
+    global _ground_cache_hits, _ground_cache_misses
+    key = (mode, text)
+    if cache:
+        program = _ground_cache.get(key)
+        if program is not None:
+            _ground_cache.move_to_end(key)
+            _ground_cache_hits += 1
+            return program, True
+        _ground_cache_misses += 1
+    parsed = parse_program(text)
+    grounder = Grounder(parsed, mode=mode)
+    rules = grounder.ground()
+    program = GroundProgram(
+        rules,
+        grounder.possible_atoms,
+        grounder.fact_atoms,
+        shows=parsed.shows,
+        externals=frozenset(parsed.externals),
+        grounding=grounder.statistics,
+    )
+    if cache:
+        _ground_cache[key] = program
+        while len(_ground_cache) > GROUND_CACHE_SIZE:
+            _ground_cache.popitem(last=False)
+    return program, False
+
+
+def ground_text(
+    text: str, cache: bool = True, mode: str = "seminaive"
+) -> GroundProgram:
+    """Ground program ``text`` into a reusable :class:`GroundProgram`.
+
+    The resulting artifact is picklable (``to_bytes``/``from_bytes``)
+    and can be passed to :meth:`Control.ground` — or shipped to another
+    process — to skip instantiation entirely.
+    """
+    program, _hit = _ground_text_cached(text, cache, mode)
+    return program
 
 
 @dataclass
@@ -105,6 +195,13 @@ class Control:
         self._external_values: Dict[Function, Optional[bool]] = {}
         #: Conflict budget per solve() call (None = unlimited).
         self.conflict_limit: Optional[int] = None
+        #: Grounding observability: how many times this Control actually
+        #: instantiated a program (0 when a cached or shipped artifact
+        #: was reused), whether the shared cache answered, and the wall
+        #: seconds spent instantiating in this process.
+        self.grounds = 0
+        self.ground_cache_hit = False
+        self.grounding_seconds = 0.0
 
     # -- program construction ---------------------------------------------------
 
@@ -119,21 +216,37 @@ class Control:
             raise RuntimeError("register propagators before ground()")
         self._propagators.append(propagator)
 
-    def ground(self) -> None:
-        """Parse, instantiate and translate the accumulated program."""
+    def ground(
+        self,
+        program: Optional[GroundProgram] = None,
+        cache: bool = True,
+        mode: str = "seminaive",
+    ) -> None:
+        """Instantiate and translate the program.
+
+        By default the accumulated text is parsed and ground through the
+        shared :func:`ground_text` LRU (``cache=False`` opts out).
+        Passing a pre-ground ``program`` — e.g. an artifact shipped from
+        another process — skips parsing and instantiation entirely and
+        takes its ``#show``/``#external`` declarations from the artifact;
+        any text added via :meth:`add` is ignored in that case.
+        """
         if self._translation is not None:
             raise RuntimeError(
                 "ground() was already called; build a fresh Control "
                 "(multi-shot grounding is not supported)"
             )
-        program = parse_program("\n".join(self._parts))
+        if program is None:
+            text = "\n".join(self._parts)
+            program, hit = _ground_text_cached(text, cache, mode)
+            self.ground_cache_hit = hit
+            if not hit:
+                self.grounds += 1
+                if program.grounding is not None:
+                    self.grounding_seconds += program.grounding.seconds
         self._shows = program.shows
         self._external_signatures = set(program.externals)
-        grounder = Grounder(program)
-        rules = grounder.ground()
-        self._ground_program = GroundProgram(
-            rules, grounder.possible_atoms, grounder.fact_atoms
-        )
+        self._ground_program = program
         solver = Solver()
         self._translation = translate(self._ground_program, solver)
         self._solver = solver

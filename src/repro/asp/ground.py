@@ -5,10 +5,18 @@ computes the *positive dependency graph* used both for tightness analysis
 and by the unfounded-set propagator: an edge ``head -> b`` exists when
 ``b`` occurs positively in the body (or choice-element condition) of a
 rule with head ``head``.
+
+A :class:`GroundProgram` is a self-contained, *picklable* artifact: it
+carries the ``#show``/``#external`` declarations and the grounding
+statistics alongside the rules, so a program ground once can be shipped
+to other processes (the parallel DSE workers) or cached and replayed
+into fresh :class:`~repro.asp.control.Control` instances without
+re-grounding.
 """
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -17,6 +25,7 @@ import networkx as nx
 from repro.asp.grounder import (
     GroundAggregate,
     GroundChoice,
+    GroundingStatistics,
     GroundRule,
     GroundTheoryAtom,
 )
@@ -24,17 +33,54 @@ from repro.asp.syntax import Function
 
 __all__ = ["GroundProgram"]
 
+Signature = Tuple[str, int]
+
 
 @dataclass
 class GroundProgram:
-    """The grounder's output plus the derived atom universe."""
+    """The grounder's output plus the derived atom universe.
+
+    ``shows`` mirrors :attr:`repro.asp.ast.Program.shows` (``None`` when
+    the program had no ``#show`` statement); ``externals`` holds the
+    ``#external``-declared signatures; ``grounding`` the effort counters
+    of the run that produced this program (``None`` for hand-built
+    programs, e.g. in unit tests).
+    """
 
     rules: List[GroundRule]
     possible: Set[Function]
     facts: Set[Function]
+    shows: Optional[Set[Signature]] = None
+    externals: FrozenSet[Signature] = frozenset()
+    grounding: Optional[GroundingStatistics] = None
 
     def __post_init__(self) -> None:
         self._positive_graph: Optional[nx.DiGraph] = None
+
+    # -- serialization -------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # The dependency graph is a derived cache and can be large;
+        # receivers recompute it on demand.
+        state = self.__dict__.copy()
+        state["_positive_graph"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+    def to_bytes(self) -> bytes:
+        """Serialize once; ship to workers with :meth:`from_bytes`."""
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def from_bytes(payload: bytes) -> "GroundProgram":
+        program = pickle.loads(payload)
+        if not isinstance(program, GroundProgram):
+            raise TypeError(
+                f"expected a pickled GroundProgram, got {type(program).__name__}"
+            )
+        return program
 
     # -- dependency analysis -------------------------------------------------
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 import networkx as nx
@@ -40,6 +41,7 @@ from repro.asp.syntax import Function, Number, String, Symbol
 
 __all__ = [
     "GroundingError",
+    "GroundingStatistics",
     "GroundAggregate",
     "GroundAggregateElement",
     "GroundChoice",
@@ -55,6 +57,22 @@ __all__ = [
 
 class GroundingError(Exception):
     """Raised when a rule cannot be safely instantiated."""
+
+
+@dataclass
+class GroundingStatistics:
+    """Effort counters of one :meth:`Grounder.ground` run.
+
+    ``instantiations`` counts rule-instance emissions attempted (one per
+    substitution produced by the body join); ``delta_rounds`` counts the
+    semi-naive re-evaluation rounds beyond each batch's first full pass
+    (for the naive mode: full fixpoint passes beyond the first).
+    """
+
+    mode: str = "seminaive"
+    seconds: float = 0.0
+    instantiations: int = 0
+    delta_rounds: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -327,6 +345,46 @@ def _match(term: ast.Term, symbol: Symbol, subst: Dict[str, Symbol]) -> bool:
     return value is not None and value == symbol
 
 
+def _match_trail(
+    term: ast.Term,
+    symbol: Symbol,
+    subst: Dict[str, Symbol],
+    trail: List[str],
+) -> bool:
+    """Like :func:`_match`, but records new bindings on ``trail``.
+
+    The caller undoes a (possibly partial) match by deleting the trailed
+    names from ``subst`` — the shared-dictionary replacement for the
+    per-candidate ``dict(subst)`` copies of the naive join.
+    """
+    if isinstance(term, ast.Variable):
+        bound = subst.get(term.name)
+        if bound is None:
+            subst[term.name] = symbol
+            trail.append(term.name)
+            return True
+        return bound == symbol
+    if isinstance(term, ast.SymbolTerm):
+        return term.symbol == symbol
+    if isinstance(term, ast.FunctionTerm):
+        if (
+            not isinstance(symbol, Function)
+            or symbol.name != term.name
+            or len(symbol.arguments) != len(term.arguments)
+        ):
+            return False
+        for sub_term, sub_symbol in zip(term.arguments, symbol.arguments):
+            if not _match_trail(sub_term, sub_symbol, subst, trail):
+                return False
+        return True
+    if isinstance(term, ast.PoolTerm):
+        raise GroundingError(
+            "argument pools are only supported in rule heads and facts"
+        )
+    value = evaluate_term(term, subst)
+    return value is not None and value == symbol
+
+
 def _term_variables(term: ast.Term, out: Set[str]) -> None:
     if isinstance(term, ast.Variable):
         out.add(term.name)
@@ -460,17 +518,36 @@ def _rule_head_signatures(rule: ast.Rule) -> List[Signature]:
 
 @dataclass
 class _AtomIndex:
-    """Possible/fact atom bookkeeping with a per-signature index."""
+    """Possible/fact atom bookkeeping with a per-signature index.
+
+    Besides the per-signature candidate lists, the index maintains
+    *argument-position hash buckets*: ``buckets[(sig, pos)]`` maps the
+    ground symbol at argument ``pos`` to the candidates carrying it.  A
+    position's bucket is built lazily on the first
+    :meth:`candidates_at` probe and kept up to date by
+    :meth:`add_possible` from then on, so only positions the join
+    actually constrains pay for indexing.
+    """
 
     by_signature: Dict[Signature, List[Function]] = field(default_factory=dict)
     possible: Set[Function] = field(default_factory=set)
     facts: Set[Function] = field(default_factory=set)
+    buckets: Dict[Tuple[Signature, int], Dict[Symbol, List[Function]]] = field(
+        default_factory=dict
+    )
+    #: Positions with a built bucket, per signature (maintenance list).
+    indexed_positions: Dict[Signature, List[int]] = field(default_factory=dict)
 
     def add_possible(self, atom: Function) -> bool:
         if atom in self.possible:
             return False
         self.possible.add(atom)
-        self.by_signature.setdefault(atom.signature, []).append(atom)
+        signature = atom.signature
+        self.by_signature.setdefault(signature, []).append(atom)
+        for position in self.indexed_positions.get(signature, ()):
+            self.buckets[(signature, position)].setdefault(
+                atom.arguments[position], []
+            ).append(atom)
         return True
 
     def add_fact(self, atom: Function) -> bool:
@@ -483,19 +560,145 @@ class _AtomIndex:
     def candidates(self, name: str, arity: int) -> Sequence[Function]:
         return self.by_signature.get((name, arity), ())
 
+    def candidates_at(
+        self, signature: Signature, position: int, value: Symbol
+    ) -> Sequence[Function]:
+        """Candidates of ``signature`` whose argument ``position`` is ``value``."""
+        key = (signature, position)
+        bucket = self.buckets.get(key)
+        if bucket is None:
+            bucket = {}
+            for atom in self.by_signature.get(signature, ()):
+                bucket.setdefault(atom.arguments[position], []).append(atom)
+            self.buckets[key] = bucket
+            self.indexed_positions.setdefault(signature, []).append(position)
+        return bucket.get(value, ())
+
+
+#: Argument-plan kinds: how a body-literal argument binds at join time.
+_ARG_CONST = 0  # ground symbol, known at planning time
+_ARG_VAR = 1  # a plain variable (looked up in the substitution)
+_ARG_TERM = 2  # arithmetic/structured term (evaluated under the substitution)
+
+
+class _LiteralPlan:
+    """Per-literal join metadata, computed once per rule.
+
+    Caches the variable sets (recomputed on every fixpoint iteration
+    before) and classifies each argument position for index probing.
+    """
+
+    __slots__ = (
+        "literal",
+        "is_comparison",
+        "signature",
+        "atom",
+        "variables",
+        "complex_vars",
+        "args",
+    )
+
+    def __init__(self, literal: ast.Literal):
+        self.literal = literal
+        atom = literal.atom
+        self.atom = atom
+        self.variables = frozenset(literal_variables(literal))
+        self.is_comparison = isinstance(atom, ast.Comparison)
+        if self.is_comparison:
+            self.signature: Optional[Signature] = None
+            self.complex_vars: frozenset = frozenset()
+            self.args: Tuple[Tuple[int, object], ...] = ()
+            return
+        assert isinstance(atom, ast.FunctionTerm)
+        self.signature = (atom.name, len(atom.arguments))
+        complex_vars: Set[str] = set()
+        _complex_variables(atom, complex_vars)
+        self.complex_vars = frozenset(complex_vars)
+        args: List[Tuple[int, object]] = []
+        for argument in atom.arguments:
+            if isinstance(argument, ast.SymbolTerm):
+                args.append((_ARG_CONST, argument.symbol))
+            elif isinstance(argument, ast.Variable):
+                args.append((_ARG_VAR, argument.name))
+            else:
+                variables: Set[str] = set()
+                _term_variables(argument, variables)
+                value = None if variables else evaluate_term(argument, {})
+                if value is not None:
+                    args.append((_ARG_CONST, value))
+                else:
+                    args.append((_ARG_TERM, argument))
+        self.args = tuple(args)
+
+
+class _RulePlan:
+    """Per-rule instantiation metadata: body split, occurrence cache."""
+
+    __slots__ = (
+        "rule",
+        "positives",
+        "positive_literals",
+        "others",
+        "occurrences",
+        "head_signatures",
+    )
+
+    def __init__(self, rule: ast.Rule, is_binder) -> None:
+        self.rule = rule
+        self.positive_literals: List[ast.Literal] = []
+        self.others: List[ast.BodyItem] = []
+        for item in rule.body:
+            if (
+                isinstance(item, ast.Literal)
+                and item.sign == 0
+                and isinstance(item.atom, ast.FunctionTerm)
+            ):
+                self.positive_literals.append(item)
+            elif is_binder(item):
+                self.positive_literals.append(item)
+            else:
+                self.others.append(item)
+        self.positives = [_LiteralPlan(lit) for lit in self.positive_literals]
+        self.occurrences: List[Tuple[Signature, bool]] = list(
+            _rule_occurrences(rule)
+        )
+        self.head_signatures: List[Signature] = _rule_head_signatures(rule)
+
 
 class Grounder:
-    """Instantiates a non-ground program into :class:`GroundRule` objects."""
+    """Instantiates a non-ground program into :class:`GroundRule` objects.
 
-    def __init__(self, program: ast.Program):
+    Two instantiation strategies share the scheduling, simplification,
+    and emission machinery:
+
+    * ``mode="seminaive"`` (default) — per-batch delta evaluation with
+      argument-indexed, selectivity-ordered joins and trail-based
+      bind/undo matching;
+    * ``mode="naive"`` — the original full-join fixpoint, kept as the
+      differential-testing reference.
+    """
+
+    def __init__(self, program: ast.Program, mode: str = "seminaive"):
+        if mode not in ("seminaive", "naive"):
+            raise ValueError(f"unknown grounding mode {mode!r}")
+        self._mode = mode
         self._rules = [
             self._substitute_constants(rule, program.constants) for rule in program.rules
         ]
+        self._plans = [_RulePlan(rule, self._is_binder) for rule in self._rules]
         self._index = _AtomIndex()
         self._emitted: Set[object] = set()
         self._output: List[GroundRule] = []
         self._closed: Set[Signature] = set()
         self._open: Set[Signature] = set()
+        #: Literal-variable caches for the naive join (satellite of the
+        #: plan caches: conditions and the reference path use these).
+        self._literal_vars: Dict[int, Set[str]] = {}
+        self._literal_complex_vars: Dict[int, Set[str]] = {}
+        # Semi-naive delta bookkeeping (per batch).
+        self._track_delta = False
+        self._delta_next: Dict[Signature, Dict[Function, None]] = {}
+        self.statistics = GroundingStatistics(mode=mode)
 
     # -- #const substitution --------------------------------------------------
 
@@ -597,12 +800,12 @@ class Grounder:
         through plain positive/negative literals (checked by the caller).
         """
         graph = nx.DiGraph()
-        for i, rule in enumerate(self._rules):
+        for i, plan in enumerate(self._plans):
             rule_node = ("rule", i)
             graph.add_node(rule_node)
-            for sig, _needs_closed in _rule_occurrences(rule):
+            for sig, _needs_closed in plan.occurrences:
                 graph.add_edge(rule_node, ("sig", sig))
-            for sig in _rule_head_signatures(rule):
+            for sig in plan.head_signatures:
                 graph.add_edge(("sig", sig), rule_node)
         condensation = nx.condensation(graph)
         batches: List[List[int]] = []
@@ -627,29 +830,75 @@ class Grounder:
 
     def ground(self) -> List[GroundRule]:
         """Run the component-wise grounding fixpoint; return the ground rules."""
+        started = perf_counter()
         batches = self._schedule()
-        all_sigs: Set[Signature] = set()
-        for component in self._batch_order:
-            all_sigs |= self._component_sigs.get(component, set())
         for component, rule_indices in zip(self._batch_order, batches):
             sigs = self._component_sigs.get(component, set())
             self._open = set(sigs)
             self._check_batch(rule_indices)
-            changed = True
-            while changed:
-                changed = False
-                for index in rule_indices:
-                    if self._ground_rule(self._rules[index]):
-                        changed = True
+            if self._mode == "seminaive":
+                self._ground_batch_seminaive(rule_indices)
+            else:
+                self._ground_batch_naive(rule_indices)
             self._closed |= sigs
             self._open = set()
+        self.statistics.seconds += perf_counter() - started
         return self._output
+
+    def _ground_batch_naive(self, rule_indices: List[int]) -> None:
+        """Full-join fixpoint over the batch (reference strategy)."""
+        passes = 0
+        changed = True
+        while changed:
+            passes += 1
+            changed = False
+            for index in rule_indices:
+                if self._ground_rule(index):
+                    changed = True
+        self.statistics.delta_rounds += max(passes - 1, 0)
+
+    def _ground_batch_seminaive(self, rule_indices: List[int]) -> None:
+        """Semi-naive delta evaluation of one batch.
+
+        The first round is a full indexed join per rule.  From then on,
+        only rule instantiations binding at least one atom whose status
+        changed in the previous round (*newly possible* or *newly a
+        fact* — fact transitions re-trigger simplified re-emission) are
+        derived: the join is re-run once per positive open-signature
+        literal, restricted to the delta atoms at that position.  Batches
+        without recursion through an open signature finish after the
+        first round — there is no verification pass to pay for.
+        """
+        plans = [self._plans[index] for index in rule_indices]
+        delta_plans: List[Tuple[_RulePlan, List[int]]] = []
+        for plan in plans:
+            positions = [
+                j
+                for j, literal_plan in enumerate(plan.positives)
+                if literal_plan.signature is not None
+                and literal_plan.signature in self._open
+            ]
+            if positions:
+                delta_plans.append((plan, positions))
+        self._track_delta = bool(delta_plans)
+        self._delta_next = {}
+        for plan in plans:
+            self._ground_rule_indexed(plan)
+        while self._delta_next:
+            delta, self._delta_next = self._delta_next, {}
+            self.statistics.delta_rounds += 1
+            for plan, positions in delta_plans:
+                for j in positions:
+                    atoms = delta.get(plan.positives[j].signature)
+                    if atoms:
+                        self._ground_rule_indexed(plan, j, list(atoms))
+        self._track_delta = False
 
     def _check_batch(self, rule_indices: List[int]) -> None:
         """Reject recursion through aggregates or element conditions."""
         for index in rule_indices:
             rule = self._rules[index]
-            for sig, needs_closed in _rule_occurrences(rule):
+            for sig, needs_closed in self._plans[index].occurrences:
                 if needs_closed and sig in self._open:
                     # Plain negative body literals are tolerated (negative
                     # recursion); conditions/aggregates are not.
@@ -704,24 +953,13 @@ class Grounder:
             )
         )
 
-    def _ground_rule(self, rule: ast.Rule) -> bool:
-        positives: List[ast.Literal] = []
-        others: List[ast.BodyItem] = []
-        for item in rule.body:
-            if (
-                isinstance(item, ast.Literal)
-                and item.sign == 0
-                and isinstance(item.atom, ast.FunctionTerm)
-            ):
-                positives.append(item)
-            elif self._is_binder(item):
-                positives.append(item)
-            else:
-                others.append(item)
-
+    def _ground_rule(self, index: int) -> bool:
+        plan = self._plans[index]
         changed = False
-        for subst in self._join(positives, {}):
-            if self._emit_instance(rule, positives, others, subst):
+        for subst in self._join(plan.positive_literals, {}):
+            if self._emit_instance(
+                plan.rule, plan.positive_literals, plan.others, subst
+            ):
                 changed = True
         return changed
 
@@ -756,7 +994,12 @@ class Grounder:
                     yield from self._join(remaining, local)
             return
         assert isinstance(atom, ast.FunctionTerm)
-        for candidate in list(self._index.candidates(atom.name, len(atom.arguments))):
+        # Candidate lists are append-only within a batch: snapshotting the
+        # length gives the same iteration-time view as copying the list,
+        # without the per-step allocation.
+        candidates = self._index.candidates(atom.name, len(atom.arguments))
+        for position in range(len(candidates)):
+            candidate = candidates[position]
             local = dict(subst)
             if _match(atom, candidate, local):
                 yield from self._join(remaining, local)
@@ -771,6 +1014,26 @@ class Grounder:
         if isinstance(rhs, ast.Variable) and rhs.name not in subst:
             return rhs, lhs
         return None, None
+
+    def _cached_literal_vars(self, literal: ast.Literal) -> Set[str]:
+        """Memoized :func:`literal_variables` (AST literals are stable
+        objects, recomputing their variable set per fixpoint pass was
+        pure waste)."""
+        key = id(literal)
+        cached = self._literal_vars.get(key)
+        if cached is None:
+            cached = literal_variables(literal)
+            self._literal_vars[key] = cached
+        return cached
+
+    def _cached_complex_vars(self, atom: ast.FunctionTerm) -> Set[str]:
+        key = id(atom)
+        cached = self._literal_complex_vars.get(key)
+        if cached is None:
+            cached = set()
+            _complex_variables(atom, cached)
+            self._literal_complex_vars[key] = cached
+        return cached
 
     def _select_literal(self, positives: List[ast.Literal], subst: Dict[str, Symbol]) -> int:
         """Pick the next positive literal to match.
@@ -794,19 +1057,172 @@ class Grounder:
                     source_vars = set()
                     _term_variables(source, source_vars)
                 blocked = len(source_vars - subst.keys())
-                unbound = len(literal_variables(literal) - subst.keys())
+                unbound = len(self._cached_literal_vars(literal) - subst.keys())
             else:
-                complex_vars: Set[str] = set()
                 assert isinstance(atom, ast.FunctionTerm)
-                _complex_variables(atom, complex_vars)
-                blocked = len(complex_vars - subst.keys())
-                unbound = len(literal_variables(literal) - subst.keys())
+                blocked = len(self._cached_complex_vars(atom) - subst.keys())
+                unbound = len(self._cached_literal_vars(literal) - subst.keys())
             key = (blocked, unbound)
             if best_key is None or key < best_key:
                 best, best_key = i, key
                 if key == (0, 0):
                     break
         return best
+
+    # -- indexed, trail-based join (semi-naive path) -------------------------
+
+    def _ground_rule_indexed(
+        self,
+        plan: _RulePlan,
+        delta_position: Optional[int] = None,
+        delta_atoms: Optional[List[Function]] = None,
+    ) -> None:
+        """Instantiate one rule through the indexed join.
+
+        With a ``delta_position``, the join is restricted: that literal
+        may only bind atoms from ``delta_atoms`` (the batch's previous
+        round delta), which is what makes re-evaluation semi-naive.  The
+        restricted literal still participates in normal selectivity
+        ordering, so arithmetic safety is preserved.
+        """
+        restrict = None
+        if delta_position is not None:
+            restrict = (plan.positives[delta_position], delta_atoms)
+        for subst in self._join_indexed(plan.positives, {}, restrict):
+            self._emit_instance(
+                plan.rule, plan.positive_literals, plan.others, subst
+            )
+
+    def _join_indexed(
+        self,
+        plans: List[_LiteralPlan],
+        subst: Dict[str, Symbol],
+        restrict: Optional[Tuple[_LiteralPlan, List[Function]]] = None,
+    ) -> Iterator[Dict[str, Symbol]]:
+        """Backtracking join over literal plans with argument indexing.
+
+        The substitution dictionary is *shared*: bindings are recorded on
+        a trail and undone on backtracking instead of copying the dict
+        per candidate.  Yielded substitutions are only valid until the
+        generator is advanced — :meth:`_emit_instance` consumes them
+        synchronously.
+        """
+        if not plans:
+            yield subst
+            return
+        index, candidates = self._select_plan(plans, subst, restrict)
+        plan = plans[index]
+        remaining = plans[:index] + plans[index + 1 :]
+        if plan.is_comparison:
+            atom = plan.atom
+            variable, source = self._binder_parts(atom, subst)
+            if variable is None:
+                lhs = evaluate_term(atom.lhs, subst)
+                rhs_values = evaluate_term_all(atom.rhs, subst)
+                if lhs is not None and lhs in rhs_values:
+                    yield from self._join_indexed(remaining, subst, restrict)
+                return
+            trail: List[str] = []
+            for value in evaluate_term_all(source, subst):
+                if _match_trail(variable, value, subst, trail):
+                    yield from self._join_indexed(remaining, subst, restrict)
+                for name in trail:
+                    del subst[name]
+                trail.clear()
+            return
+        if restrict is not None and plan is restrict[0]:
+            restrict = None  # the delta literal is being bound right here
+        atom = plan.atom
+        trail = []
+        # Length snapshot: candidates appended during emission are picked
+        # up by the next delta round, not by the running iteration.
+        for position in range(len(candidates)):
+            if _match_trail(atom, candidates[position], subst, trail):
+                yield from self._join_indexed(remaining, subst, restrict)
+            for name in trail:
+                del subst[name]
+            trail.clear()
+
+    def _probe(
+        self, plan: _LiteralPlan, subst: Dict[str, Symbol]
+    ) -> Sequence[Function]:
+        """Smallest candidate pool for ``plan`` under ``subst``.
+
+        Every argument position whose value is determined (constant,
+        bound variable, or evaluable term) probes its hash bucket; the
+        smallest bucket wins.  Unconstrained literals fall back to the
+        full per-signature list.
+        """
+        signature = plan.signature
+        best: Optional[Sequence[Function]] = None
+        best_size = -1
+        for position, (kind, payload) in enumerate(plan.args):
+            if kind == _ARG_CONST:
+                value = payload
+            elif kind == _ARG_VAR:
+                value = subst.get(payload)
+                if value is None:
+                    continue
+            else:
+                value = evaluate_term(payload, subst)
+                if value is None:
+                    continue
+            bucket = self._index.candidates_at(signature, position, value)
+            size = len(bucket)
+            if not size:
+                return ()
+            if best is None or size < best_size:
+                best, best_size = bucket, size
+        if best is None:
+            return self._index.candidates(signature[0], signature[1])
+        return best
+
+    def _select_plan(
+        self,
+        plans: List[_LiteralPlan],
+        subst: Dict[str, Symbol],
+        restrict: Optional[Tuple[_LiteralPlan, List[Function]]],
+    ) -> Tuple[int, Optional[Sequence[Function]]]:
+        """Selectivity-ordered literal selection.
+
+        The key extends the naive ``(blocked, unbound)`` order with the
+        candidate-pool size in the middle: among matchable literals the
+        one with the smallest indexed bucket is joined first.  Returns
+        the chosen index together with its (already probed) candidate
+        pool so the caller does not probe twice.
+        """
+        best = 0
+        best_key = None
+        best_candidates: Optional[Sequence[Function]] = None
+        for i, plan in enumerate(plans):
+            candidates: Optional[Sequence[Function]] = None
+            if plan.is_comparison:
+                atom = plan.atom
+                variable, source = self._binder_parts(atom, subst)
+                if variable is None:
+                    source_vars: Set[str] = set()
+                    _term_variables(atom.lhs, source_vars)
+                    _term_variables(atom.rhs, source_vars)
+                    estimate = 0  # a decided comparison filters immediately
+                else:
+                    source_vars = set()
+                    _term_variables(source, source_vars)
+                    estimate = 1  # a binder generates, prefer empty pools
+                blocked = len(source_vars - subst.keys())
+            else:
+                blocked = len(plan.complex_vars - subst.keys())
+                if restrict is not None and plan is restrict[0]:
+                    candidates = restrict[1]
+                else:
+                    candidates = self._probe(plan, subst)
+                estimate = len(candidates)
+            unbound = len(plan.variables - subst.keys())
+            key = (blocked, estimate, unbound)
+            if best_key is None or key < best_key:
+                best, best_key, best_candidates = i, key, candidates
+                if blocked == 0 and estimate == 0:
+                    break
+        return best, best_candidates
 
     def _emit_instance(
         self,
@@ -816,6 +1232,7 @@ class Grounder:
         subst: Dict[str, Symbol],
     ) -> bool:
         """Instantiate non-positive body parts and the head; emit the rule."""
+        self.statistics.instantiations += 1
         body: List[GroundLiteral] = []
         # Keep matched positive literals that are not (closed) facts
         # (binder equalities are fully resolved by the join).
@@ -858,13 +1275,26 @@ class Grounder:
         changed = False
         if isinstance(head, Function):
             if not ground.body and not ground.aggregates:
-                changed |= self._index.add_fact(head)
+                # add_fact reports possible->fact transitions too: those
+                # re-trigger simplified re-emission in the delta rounds.
+                if self._index.add_fact(head):
+                    changed = True
+                    self._note_delta(head)
             else:
-                changed |= self._index.add_possible(head)
+                if self._index.add_possible(head):
+                    changed = True
+                    self._note_delta(head)
         elif isinstance(head, GroundChoice):
             for atom, _condition in head.elements:
-                changed |= self._index.add_possible(atom)
+                if self._index.add_possible(atom):
+                    changed = True
+                    self._note_delta(atom)
         return changed
+
+    def _note_delta(self, atom: Function) -> None:
+        """Record an atom whose status changed, for the next delta round."""
+        if self._track_delta and atom.signature in self._open:
+            self._delta_next.setdefault(atom.signature, {})[atom] = None
 
     # -- body parts -----------------------------------------------------------
 
@@ -1083,9 +1513,9 @@ class Grounder:
 
 
 def ground_program(
-    program: ast.Program,
+    program: ast.Program, mode: str = "seminaive"
 ) -> Tuple[List[GroundRule], Set[Function], Set[Function]]:
     """Ground ``program``; returns (rules, possible atoms, fact atoms)."""
-    grounder = Grounder(program)
+    grounder = Grounder(program, mode=mode)
     rules = grounder.ground()
     return rules, grounder.possible_atoms, grounder.fact_atoms

@@ -170,6 +170,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{stats.wall_time:.2f}s"
         + (", INTERRUPTED (budget)" if stats.interrupted else "")
     )
+    print(
+        f"grounding: {stats.grounds} ground(s), {stats.grounding_seconds:.3f}s, "
+        f"{stats.instantiations} instantiations, {stats.delta_rounds} delta rounds"
+        + (", cache hit" if stats.ground_cache_hit else "")
+    )
     for worker in stats.per_worker:
         print(
             f"  worker {worker['worker']}: {worker['cubes']} cubes, "

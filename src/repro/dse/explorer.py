@@ -299,6 +299,19 @@ class DseStatistics:
     time_theory_propagation: float = 0.0
     #: Wall seconds spent in dominance checks (subset of theory time).
     time_dominance: float = 0.0
+    #: Wall seconds spent instantiating the program (0 when a cached or
+    #: shipped ground program was reused).
+    grounding_seconds: float = 0.0
+    #: Rule instantiations attempted while grounding this instance.
+    instantiations: int = 0
+    #: Semi-naive re-evaluation rounds beyond each batch's first pass.
+    delta_rounds: int = 0
+    #: Whether the shared ground-program cache answered this run.
+    ground_cache_hit: bool = False
+    #: How many times the instance was actually ground across the run
+    #: (parallel exploration sums the parent and all workers; with the
+    #: shipped artifact this stays at 1).
+    grounds: int = 0
     #: Per-worker breakdowns (parallel exploration only; empty otherwise).
     per_worker: List[Dict[str, object]] = field(default_factory=list)
 
@@ -347,6 +360,11 @@ class DseResult:
                 "time_boolean_propagation": self.statistics.time_boolean_propagation,
                 "time_theory_propagation": self.statistics.time_theory_propagation,
                 "time_dominance": self.statistics.time_dominance,
+                "grounding_seconds": self.statistics.grounding_seconds,
+                "instantiations": self.statistics.instantiations,
+                "delta_rounds": self.statistics.delta_rounds,
+                "ground_cache_hit": self.statistics.ground_cache_hit,
+                "grounds": self.statistics.grounds,
                 "per_worker": list(self.statistics.per_worker),
             },
         }
@@ -373,6 +391,8 @@ class ExactParetoExplorer:
         epsilon: int = 0,
         objective_phases: bool = False,
         fixed_bindings: Optional[Dict[str, str]] = None,
+        ground_program=None,
+        ground_cache: bool = True,
     ):
         """Configure the explorer.
 
@@ -384,6 +404,12 @@ class ExactParetoExplorer:
         spirit of Andres et al., LPNMR 2015).  ``fixed_bindings`` pins
         tasks to resources (designer what-if exploration): the computed
         front is exact *for the pinned subspace*.
+
+        ``ground_program`` accepts a pre-ground
+        :class:`~repro.asp.ground.GroundProgram` of ``instance.program``
+        (the parallel explorer grounds once and ships the artifact to
+        every worker); ``ground_cache=False`` bypasses the shared
+        ground-program LRU.
         """
         self.instance = instance
         self.epsilon = epsilon
@@ -409,6 +435,8 @@ class ExactParetoExplorer:
         self._validate_models = validate_models
         self._objective_phases = objective_phases
         self._fixed_bindings = dict(fixed_bindings or {})
+        self._ground_artifact = ground_program
+        self._ground_cache = ground_cache
         self._ground = False
         self.models_enumerated = 0
         self._pending_point: Optional[ParetoPoint] = None
@@ -420,7 +448,9 @@ class ExactParetoExplorer:
         the exploration starts.
         """
         if not self._ground:
-            self.control.ground()
+            self.control.ground(
+                program=self._ground_artifact, cache=self._ground_cache
+            )
             if self._objective_phases:
                 self._apply_objective_phases()
             self._ground = True
@@ -535,6 +565,13 @@ class ExactParetoExplorer:
         stats.time_boolean_propagation = solver.stats.time_boolean
         stats.time_theory_propagation = solver.stats.time_theory
         stats.time_dominance = self.dominance.prune_time
+        stats.grounding_seconds = self.control.grounding_seconds
+        stats.ground_cache_hit = self.control.ground_cache_hit
+        stats.grounds = self.control.grounds
+        grounding = self.control.ground_program.grounding
+        if grounding is not None:
+            stats.instantiations = grounding.instantiations
+            stats.delta_rounds = grounding.delta_rounds
         return stats
 
     def run(self) -> DseResult:

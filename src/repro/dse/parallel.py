@@ -43,6 +43,8 @@ from itertools import product
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.asp.control import _ground_text_cached
+from repro.asp.ground import GroundProgram
 from repro.dse.explorer import (
     DseResult,
     DseStatistics,
@@ -150,12 +152,17 @@ class _CubeWorker:
         explorer_options: Optional[Dict[str, object]] = None,
         chunk_conflicts: Optional[int] = DEFAULT_CHUNK_CONFLICTS,
         conflict_limit: Optional[int] = None,
+        ground_program: Optional[GroundProgram] = None,
     ):
         options = dict(explorer_options or {})
         options.pop("fixed_bindings", None)  # baked into the cubes
         options.pop("conflict_limit", None)
+        options.pop("ground_program", None)  # shipped by the parent
         self.explorer = ExactParetoExplorer(
-            instance, conflict_limit=chunk_conflicts, **options
+            instance,
+            conflict_limit=chunk_conflicts,
+            ground_program=ground_program,
+            **options,
         )
         self.cubes = [dict(cube) for cube in cubes]
         self._assumptions = [
@@ -226,6 +233,8 @@ class _CubeWorker:
                 "time_boolean_propagation": stats.time_boolean_propagation,
                 "time_theory_propagation": stats.time_theory_propagation,
                 "time_dominance": stats.time_dominance,
+                "grounds": stats.grounds,
+                "grounding_seconds": stats.grounding_seconds,
                 "wall_time": self.wall_time,
             },
         }
@@ -241,11 +250,22 @@ def _worker_main(
     share: bool,
     inject_queue,
     point_queue,
+    ground_blob: Optional[bytes] = None,
 ) -> None:
     """Process entry point: explore ``cubes``, stream points, report."""
     try:
+        ground = (
+            GroundProgram.from_bytes(ground_blob)
+            if ground_blob is not None
+            else None
+        )
         worker = _CubeWorker(
-            instance, cubes, explorer_options, chunk_conflicts, conflict_limit
+            instance,
+            cubes,
+            explorer_options,
+            chunk_conflicts,
+            conflict_limit,
+            ground_program=ground,
         )
         while True:
             if share:
@@ -334,16 +354,25 @@ class ParallelParetoExplorer:
         # Static round-robin keeps the cube -> worker map deterministic,
         # which both backends rely on for reproducible reports.
         assignments = [cubes[worker::jobs] for worker in range(jobs)]
+        # Ground once in the parent and ship the artifact: the workers
+        # reuse it instead of re-instantiating the same program each.
+        ground, cache_hit = _ground_text_cached(
+            self.instance.program,
+            bool(self.explorer_options.get("ground_cache", True)),
+            "seminaive",
+        )
+        self._parent_ground = ground
+        self._parent_cache_hit = cache_hit
         if self.backend == "inline":
-            reports = self._run_inline(assignments)
+            reports = self._run_inline(assignments, ground)
         else:
-            reports = self._run_processes(assignments)
+            reports = self._run_processes(assignments, ground)
         return self._merge(reports, perf_counter() - started)
 
     # -- backends ----------------------------------------------------------------
 
     def _run_inline(
-        self, assignments: List[List[Dict[str, str]]]
+        self, assignments: List[List[Dict[str, str]]], ground: GroundProgram
     ) -> Dict[int, Dict[str, object]]:
         """Deterministic round-robin over in-process workers."""
         workers = [
@@ -353,6 +382,7 @@ class ParallelParetoExplorer:
                 self.explorer_options,
                 self.chunk_conflicts,
                 self.conflict_limit,
+                ground_program=ground,
             )
             for cubes in assignments
         ]
@@ -378,7 +408,7 @@ class ParallelParetoExplorer:
         return {wid: worker.report(wid) for wid, worker in enumerate(workers)}
 
     def _run_processes(
-        self, assignments: List[List[Dict[str, str]]]
+        self, assignments: List[List[Dict[str, str]]], ground: GroundProgram
     ) -> Dict[int, Dict[str, object]]:
         """One process per worker; the parent brokers point exchange."""
         import multiprocessing
@@ -389,6 +419,9 @@ class ParallelParetoExplorer:
         )
         point_queue = context.Queue()
         inject_queues = [context.Queue() for _assignment in assignments]
+        # Serialized once here; every worker deserializes the same blob
+        # instead of grounding the instance again.
+        ground_blob = ground.to_bytes()
         processes = [
             context.Process(
                 target=_worker_main,
@@ -402,6 +435,7 @@ class ParallelParetoExplorer:
                     self.share_archive,
                     inject_queues[wid],
                     point_queue,
+                    ground_blob,
                 ),
                 daemon=True,
             )
@@ -460,8 +494,20 @@ class ParallelParetoExplorer:
         stats.wall_time = wall_time
         stats.epsilon = self.epsilon
         stats.pareto_points = len(merged)
+        # Grounding happened (at most) once, in the parent; the workers
+        # reused the shipped artifact, so their counts stay at zero.
+        parent_ground = getattr(self, "_parent_ground", None)
+        if parent_ground is not None:
+            stats.ground_cache_hit = self._parent_cache_hit
+            stats.grounds = 0 if self._parent_cache_hit else 1
+            if parent_ground.grounding is not None:
+                stats.instantiations = parent_ground.grounding.instantiations
+                stats.delta_rounds = parent_ground.grounding.delta_rounds
+                if not self._parent_cache_hit:
+                    stats.grounding_seconds = parent_ground.grounding.seconds
         for report in ordered:
             inner = report["statistics"]
+            stats.grounds += inner.get("grounds", 0)
             stats.models_enumerated += inner["models_enumerated"]
             stats.conflicts += inner["conflicts"]
             stats.decisions += inner["decisions"]

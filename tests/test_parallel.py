@@ -10,6 +10,7 @@ import json
 
 import pytest
 
+from repro.asp.control import clear_ground_cache
 from repro.dse.explorer import ExactParetoExplorer, explore
 from repro.dse.parallel import (
     ParallelParetoExplorer,
@@ -190,6 +191,54 @@ class TestStatistics:
             "time_dominance",
         ):
             assert serialized[key] == pytest.approx(getattr(stats, key))
+
+
+class TestGroundSharing:
+    """The instance is ground once per run and shipped to the workers."""
+
+    def test_inline_workers_reuse_parent_ground_program(self):
+        clear_ground_cache()
+        result = ParallelParetoExplorer(
+            encode(curated("auto_engine")), jobs=2, backend="inline"
+        ).run()
+        stats = result.statistics
+        assert stats.grounds == 1  # the parent's ground; workers add zero
+        assert not stats.ground_cache_hit
+        assert stats.instantiations > 0
+        assert stats.grounding_seconds > 0
+        assert all(entry["grounds"] == 0 for entry in stats.per_worker)
+
+    def test_process_workers_reuse_shipped_ground_program(self, sequential_fronts):
+        clear_ground_cache()
+        result = ParallelParetoExplorer(
+            encode(curated("consumer_jpeg")), jobs=2, backend="process"
+        ).run()
+        stats = result.statistics
+        assert stats.grounds == 1
+        assert all(entry["grounds"] == 0 for entry in stats.per_worker)
+        assert result.vectors() == sequential_fronts["consumer_jpeg"]
+
+    def test_second_run_hits_the_ground_cache(self):
+        clear_ground_cache()
+        instance = encode(curated("auto_engine"))
+        first = ParallelParetoExplorer(instance, jobs=2, backend="inline").run()
+        second = ParallelParetoExplorer(instance, jobs=2, backend="inline").run()
+        assert not first.statistics.ground_cache_hit
+        assert second.statistics.ground_cache_hit
+        assert second.statistics.grounds == 0
+        assert second.vectors() == first.vectors()
+
+    def test_grounding_counters_serialize(self):
+        clear_ground_cache()
+        result = ParallelParetoExplorer(
+            encode(curated("auto_engine")), jobs=2, backend="inline"
+        ).run()
+        serialized = result.to_dict()["statistics"]
+        assert serialized["grounds"] == 1
+        assert serialized["ground_cache_hit"] is False
+        assert serialized["instantiations"] > 0
+        assert serialized["delta_rounds"] >= 0
+        json.dumps(serialized)
 
 
 class TestCli:
