@@ -1,0 +1,49 @@
+"""Static analysis for ASP programs and synthesis specifications.
+
+The package provides a rule-based linter that runs over the parsed AST
+*before* grounding (``repro.analysis.linter``), a grounder-equivalent
+variable-safety analysis (``repro.analysis.safety``), and a
+specification/objective validator for the synthesis layer
+(``repro.analysis.spec``).  Findings are structured
+:class:`~repro.analysis.diagnostics.Diagnostic` values suitable for
+text or JSON output and CI gating; see ``docs/LINT.md`` for the rule
+catalogue and suppression syntax.
+
+Entry points::
+
+    python -m repro.asp lint file.lp --format=json
+    python -m repro.dse --lint
+
+    from repro.analysis import lint_text
+    report = lint_text(open("encoding.lp").read())
+    assert report.errors == 0
+"""
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    LintError,
+    LintReport,
+    Severity,
+    SourceSpan,
+)
+from repro.analysis.linter import RULES, LintConfig, Linter, lint_files, lint_text
+from repro.analysis.safety import SafetyViolation, rule_safety_violations
+from repro.analysis.spec import SPEC_RULES, lint_instance, validate_specification
+
+__all__ = [
+    "Diagnostic",
+    "LintError",
+    "LintReport",
+    "Severity",
+    "SourceSpan",
+    "RULES",
+    "SPEC_RULES",
+    "LintConfig",
+    "Linter",
+    "lint_files",
+    "lint_text",
+    "SafetyViolation",
+    "rule_safety_violations",
+    "lint_instance",
+    "validate_specification",
+]

@@ -1,0 +1,122 @@
+"""``python -m repro.asp lint`` — the linter's command-line front-end.
+
+Exit codes are CI-friendly: 0 when no error-severity diagnostic was
+found, 1 otherwise (warnings and infos never fail the run; gate on the
+JSON output if you want stricter policies).
+
+Examples::
+
+    python -m repro.asp lint encoding.lp tests/corpus --format=json
+    python -m repro.asp lint --curated --encoding
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import sys
+from typing import List, Optional
+
+from repro.analysis.diagnostics import LintReport
+from repro.analysis.linter import LintConfig, Linter
+from repro.analysis.spec import lint_instance
+
+__all__ = ["lint_main"]
+
+
+def _expand(paths: List[str]) -> List[str]:
+    """Files stay files; directories expand to every ``*.lp`` below them."""
+    expanded: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            expanded.extend(
+                sorted(glob.glob(os.path.join(path, "**", "*.lp"), recursive=True))
+            )
+        else:
+            expanded.append(path)
+    return expanded
+
+
+def lint_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.asp lint", description=__doc__
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="program files or directories (directories lint every *.lp)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="diagnostic output format",
+    )
+    parser.add_argument(
+        "--curated",
+        action="store_true",
+        help="also lint every curated workload's spec and encoding",
+    )
+    parser.add_argument(
+        "--encoding",
+        action="store_true",
+        help="also lint a generated default synthesis encoding",
+    )
+    parser.add_argument(
+        "--blowup-threshold",
+        type=float,
+        default=LintConfig.blowup_threshold,
+        help="grounding-blowup warning threshold (estimated instances)",
+    )
+    parser.add_argument(
+        "--disable",
+        action="append",
+        default=[],
+        metavar="RULE-ID",
+        help="disable a rule id (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    if not args.paths and not args.curated and not args.encoding:
+        parser.error("nothing to lint: give paths, --curated, or --encoding")
+
+    config = LintConfig(
+        blowup_threshold=args.blowup_threshold,
+        disable=frozenset(args.disable),
+    )
+    linter = Linter(config)
+    report = LintReport()
+
+    for path in _expand(args.paths):
+        text = sys.stdin.read() if path == "-" else open(path).read()
+        part = linter.lint_text(text, filename=path)
+        report.diagnostics.extend(part.diagnostics)
+        report.files.append(path)
+        report.seconds += part.seconds
+
+    if args.curated:
+        from repro.synthesis.encoding import encode
+        from repro.workloads.curated import CURATED_NAMES, curated
+
+        for name in CURATED_NAMES:
+            spec = curated(name)
+            instance = encode(spec)
+            part = lint_instance(instance, config)
+            for diagnostic in part.diagnostics:
+                report.diagnostics.append(diagnostic)
+            report.files.append(f"<curated:{name}>")
+            report.seconds += part.seconds
+
+    if args.encoding:
+        from repro.synthesis.encoding import encode
+        from repro.workloads import WorkloadConfig, generate_specification
+
+        spec = generate_specification(WorkloadConfig())
+        part = lint_instance(encode(spec), config)
+        report.diagnostics.extend(part.diagnostics)
+        report.files.append("<generated-encoding>")
+        report.seconds += part.seconds
+
+    report.sort()
+    print(report.render(args.format))
+    return 1 if report.errors else 0

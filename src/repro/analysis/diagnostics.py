@@ -1,0 +1,222 @@
+"""Structured diagnostics for the static analyzer.
+
+A :class:`Diagnostic` is one finding: a stable kebab-case rule id, a
+severity, a human-readable message and (when the finding is anchored in
+source text) a :class:`SourceSpan`.  A :class:`LintReport` aggregates the
+findings of one lint run together with timing, and renders them as
+``file:line:col: severity[rule-id]: message`` text or as JSON for CI.
+
+Suppression: ``% lint: disable=<id>[,<id>...]`` in the linted source
+disables the listed rule ids (or ``all``) — for the statement(s) starting
+on that line when the comment trails code, for the whole file when the
+comment stands alone on its line.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Severity",
+    "SourceSpan",
+    "Diagnostic",
+    "LintReport",
+    "LintError",
+    "suppressions",
+    "filter_suppressed",
+]
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity, ordered from most to least severe."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    def __str__(self) -> str:
+        return self.value
+
+    @property
+    def rank(self) -> int:
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class SourceSpan:
+    """A 1-based source position; ``end_column`` is exclusive when set."""
+
+    file: str
+    line: int
+    column: int
+    end_line: Optional[int] = None
+    end_column: Optional[int] = None
+
+    def __str__(self) -> str:
+        return f"{self.file}:{self.line}:{self.column}"
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "file": self.file,
+            "line": self.line,
+            "column": self.column,
+        }
+        if self.end_line is not None:
+            data["end_line"] = self.end_line
+        if self.end_column is not None:
+            data["end_column"] = self.end_column
+        return data
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of the static analyzer."""
+
+    rule: str
+    severity: Severity
+    message: str
+    span: Optional[SourceSpan] = None
+
+    def __str__(self) -> str:
+        prefix = f"{self.span}: " if self.span is not None else ""
+        return f"{prefix}{self.severity}[{self.rule}]: {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+        }
+        if self.span is not None:
+            data["span"] = self.span.to_dict()
+        return data
+
+    def sort_key(self) -> Tuple:
+        span = self.span
+        return (
+            span.file if span else "",
+            span.line if span else 0,
+            span.column if span else 0,
+            self.severity.rank,
+            self.rule,
+            self.message,
+        )
+
+
+@dataclass
+class LintReport:
+    """All diagnostics of one lint run, plus timing."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    seconds: float = 0.0
+    files: List[str] = field(default_factory=list)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diagnostics)
+
+    def sort(self) -> None:
+        self.diagnostics.sort(key=Diagnostic.sort_key)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is Severity.WARNING)
+
+    @property
+    def infos(self) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is Severity.INFO)
+
+    def counts(self) -> Dict[str, int]:
+        return {"errors": self.errors, "warnings": self.warnings, "infos": self.infos}
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "errors": self.errors,
+            "warnings": self.warnings,
+            "infos": self.infos,
+            "seconds": self.seconds,
+            "files": list(self.files),
+        }
+
+    def render(self, fmt: str = "text") -> str:
+        if fmt == "json":
+            return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        if fmt != "text":
+            raise ValueError(f"unknown lint output format {fmt!r}")
+        lines = [str(d) for d in self.diagnostics]
+        lines.append(
+            f"{len(self.files)} file(s): {self.errors} error(s), "
+            f"{self.warnings} warning(s), {self.infos} info(s)"
+            f" [{self.seconds:.3f}s]"
+        )
+        return "\n".join(lines)
+
+
+class LintError(Exception):
+    """Raised by ``lint="raise"`` hooks when error-severity findings exist."""
+
+    def __init__(self, report: LintReport):
+        first = next(
+            (d for d in report.diagnostics if d.severity is Severity.ERROR), None
+        )
+        detail = f": {first}" if first is not None else ""
+        super().__init__(f"{report.errors} lint error(s){detail}")
+        self.report = report
+
+
+# ---------------------------------------------------------------------------
+# Suppression comments
+# ---------------------------------------------------------------------------
+
+_SUPPRESS_RE = re.compile(r"%\s*lint:\s*disable=([A-Za-z0-9_*,-]+)")
+
+
+def suppressions(text: str) -> Tuple[Set[str], Dict[int, Set[str]]]:
+    """Scan ``text`` for ``% lint: disable=...`` comments.
+
+    Returns ``(file_wide, per_line)`` sets of suppressed rule ids.  The
+    special id ``all`` suppresses every rule.
+    """
+    file_wide: Set[str] = set()
+    per_line: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        comment_start = line.index("%", 0, match.end())
+        if line[:comment_start].strip():
+            per_line.setdefault(lineno, set()).update(ids)
+        else:
+            file_wide.update(ids)
+    return file_wide, per_line
+
+
+def filter_suppressed(
+    diagnostics: Sequence[Diagnostic], text: str
+) -> List[Diagnostic]:
+    """Drop diagnostics disabled by suppression comments in ``text``.
+
+    A trailing comment applies to diagnostics anchored on its line (a
+    multi-line statement is anchored on its first line).
+    """
+    file_wide, per_line = suppressions(text)
+    if not file_wide and not per_line:
+        return list(diagnostics)
+    kept: List[Diagnostic] = []
+    for diagnostic in diagnostics:
+        ids = set(file_wide)
+        if diagnostic.span is not None:
+            ids |= per_line.get(diagnostic.span.line, set())
+        if "all" in ids or diagnostic.rule in ids:
+            continue
+        kept.append(diagnostic)
+    return kept

@@ -6,9 +6,12 @@ Usage::
     echo "{a;b}. :- a, b." | python -m repro.asp - --models 0
     python -m repro.asp sched.lp --theory          # enable &dom/&sum/&diff
     python -m repro.asp weighted.lp --opt          # run #minimize
+    python -m repro.asp lint program.lp --format=json   # static analysis
 
 Prints models clingo-style (``Answer: k`` lines) and a final
-SATISFIABLE / UNSATISFIABLE / OPTIMUM FOUND verdict.
+SATISFIABLE / UNSATISFIABLE / OPTIMUM FOUND verdict.  The ``lint``
+subcommand runs the static analyzer instead (see ``docs/LINT.md``) and
+exits non-zero on error-severity diagnostics.
 """
 
 from __future__ import annotations
@@ -21,6 +24,11 @@ from repro.asp.control import Control
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "lint":
+        from repro.analysis.cli import lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(prog="repro.asp", description=__doc__)
     parser.add_argument("files", nargs="+", help="program files ('-' for stdin)")
     parser.add_argument(
@@ -45,6 +53,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--stats", action="store_true", help="print solver statistics"
+    )
+    parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="run the static analyzer before grounding (warnings to stderr)",
     )
     parser.add_argument(
         "--project",
@@ -77,7 +90,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         control.register_propagator(LinearPropagator())
         control.register_propagator(DifferenceLogicPropagator())
-    control.ground()
+    control.ground(lint=args.lint)
 
     if args.opt:
         result = control.optimize(strategy=args.opt_strategy)
@@ -122,6 +135,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"Instantiations: {grounding.instantiations}  "
                 f"Delta rounds: {grounding.delta_rounds}"
                 + ("  (cache hit)" if control.ground_cache_hit else "")
+            )
+        if control.lint_report is not None:
+            report = control.lint_report
+            print(
+                f"Lint: {control.lint_seconds:.3f}s  "
+                f"Errors: {report.errors}  Warnings: {report.warnings}  "
+                f"Infos: {report.infos}"
             )
     return 0 if summary.satisfiable else 1
 

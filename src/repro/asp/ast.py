@@ -22,6 +22,7 @@ from typing import Optional, Tuple, Union
 from repro.asp.syntax import Symbol
 
 __all__ = [
+    "Location",
     "Variable",
     "SymbolTerm",
     "FunctionTerm",
@@ -44,6 +45,28 @@ __all__ = [
     "Program",
     "COMPARISON_OPS",
 ]
+
+# ---------------------------------------------------------------------------
+# Source locations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Location:
+    """1-based line/column of a construct in its source text.
+
+    Locations are carried on :class:`Rule`, :class:`Literal` and
+    :class:`Aggregate` nodes with ``compare=False`` so that two nodes with
+    the same content stay equal (and hash alike) regardless of where they
+    were written — grounding and tests rely on structural equality.
+    """
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"line {self.line}, column {self.column}"
+
 
 # ---------------------------------------------------------------------------
 # Terms
@@ -163,6 +186,7 @@ class Literal:
 
     sign: int
     atom: Union[FunctionTerm, Comparison]
+    location: Optional[Location] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         prefix = "not " * self.sign
@@ -204,6 +228,7 @@ class Aggregate:
     elements: Tuple[AggregateElement, ...]
     left_guard: Optional[Tuple[str, Term]] = None
     right_guard: Optional[Tuple[str, Term]] = None
+    location: Optional[Location] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         elems = ";".join(str(e) for e in self.elements)
@@ -308,6 +333,7 @@ class Rule:
 
     head: Head
     body: Tuple[BodyItem, ...] = ()
+    location: Optional[Location] = field(default=None, compare=False, repr=False)
 
     def __str__(self) -> str:
         if self.head is None:

@@ -202,6 +202,10 @@ class Control:
         self.grounds = 0
         self.ground_cache_hit = False
         self.grounding_seconds = 0.0
+        #: Lint observability: the report of the last ``ground(lint=...)``
+        #: run (None when linting was off) and the wall seconds it took.
+        self.lint_report = None
+        self.lint_seconds = 0.0
 
     # -- program construction ---------------------------------------------------
 
@@ -221,6 +225,7 @@ class Control:
         program: Optional[GroundProgram] = None,
         cache: bool = True,
         mode: str = "seminaive",
+        lint: object = False,
     ) -> None:
         """Instantiate and translate the program.
 
@@ -230,6 +235,13 @@ class Control:
         another process — skips parsing and instantiation entirely and
         takes its ``#show``/``#external`` declarations from the artifact;
         any text added via :meth:`add` is ignored in that case.
+
+        ``lint`` opts into the static analyzer (:mod:`repro.analysis`)
+        over the accumulated text before grounding: ``True`` surfaces
+        error/warning diagnostics as Python warnings, ``"raise"`` raises
+        :class:`repro.analysis.LintError` on error-severity findings.
+        The report lands in :attr:`lint_report`/:attr:`lint_seconds`
+        either way.  Ignored when a pre-ground ``program`` is passed.
         """
         if self._translation is not None:
             raise RuntimeError(
@@ -238,6 +250,8 @@ class Control:
             )
         if program is None:
             text = "\n".join(self._parts)
+            if lint:
+                self._lint(text, lint)
             program, hit = _ground_text_cached(text, cache, mode)
             self.ground_cache_hit = hit
             if not hit:
@@ -258,6 +272,23 @@ class Control:
             # the propagator to be known to the solver.
             solver.register_propagator(propagator)
             propagator.init(init)
+
+    def _lint(self, text: str, lint: object) -> None:
+        """Run the static analyzer over ``text`` (the ``lint=`` hook)."""
+        import warnings as _warnings
+
+        from repro.analysis import LintError, Severity, lint_text
+
+        report = lint_text(text, filename="<control>")
+        self.lint_report = report
+        self.lint_seconds += report.seconds
+        if lint == "raise":
+            if report.errors:
+                raise LintError(report)
+            return
+        for diagnostic in report.diagnostics:
+            if diagnostic.severity is not Severity.INFO:
+                _warnings.warn(str(diagnostic), stacklevel=3)
 
     # -- introspection ------------------------------------------------------------
 

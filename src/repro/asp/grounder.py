@@ -734,8 +734,9 @@ class Grounder:
                 return ast.Literal(
                     literal.sign,
                     ast.Comparison(atom.op, sub_term(atom.lhs), sub_term(atom.rhs)),
+                    location=literal.location,
                 )
-            return ast.Literal(literal.sign, sub_atom(atom))
+            return ast.Literal(literal.sign, sub_atom(atom), location=literal.location)
 
         def sub_guard(guard):
             if guard is None:
@@ -757,6 +758,7 @@ class Grounder:
                 ),
                 sub_guard(item.left_guard),
                 sub_guard(item.right_guard),
+                location=item.location,
             )
 
         head = rule.head
@@ -786,7 +788,11 @@ class Grounder:
                 ),
                 sub_guard(head.guard),
             )
-        return ast.Rule(head, tuple(sub_body_item(b) for b in rule.body))
+        return ast.Rule(
+            head,
+            tuple(sub_body_item(b) for b in rule.body),
+            location=rule.location,
+        )
 
     # -- component scheduling ---------------------------------------------------
 
@@ -831,6 +837,7 @@ class Grounder:
     def ground(self) -> List[GroundRule]:
         """Run the component-wise grounding fixpoint; return the ground rules."""
         started = perf_counter()
+        self._check_safety()
         batches = self._schedule()
         for component, rule_indices in zip(self._batch_order, batches):
             sigs = self._component_sigs.get(component, set())
@@ -844,6 +851,31 @@ class Grounder:
             self._open = set()
         self.statistics.seconds += perf_counter() - started
         return self._output
+
+    def _check_safety(self) -> None:
+        """Pre-grounding safety check: reject rules whose variables would
+        crash instantiation, naming the rule and its source location
+        instead of failing mid-join with a bare ``unsafe literal``
+        message.  The runtime checks in :meth:`_ground_literal` /
+        :meth:`_ground_head` stay as a backstop.
+        """
+        from repro.analysis.safety import display_name, fatal_violations
+
+        for rule in self._rules:
+            violations = fatal_violations(rule)
+            if not violations:
+                continue
+            names = ", ".join(
+                sorted({display_name(v.variable) for v in violations})
+            )
+            first = violations[0]
+            where = ""
+            if first.location is not None:
+                where = f" at {first.location}"
+            raise GroundingError(
+                f"unsafe variable(s) {names} in {first.context} "
+                f"of rule `{rule}`{where}"
+            )
 
     def _ground_batch_naive(self, rule_indices: List[int]) -> None:
         """Full-join fixpoint over the batch (reference strategy)."""

@@ -32,12 +32,19 @@ __all__ = ["ParseError", "parse_program", "parse_ground_term", "tokenize"]
 
 
 class ParseError(Exception):
-    """Raised on malformed input, with line/column information."""
+    """Raised on malformed input, with line/column information.
 
-    def __init__(self, message: str, line: int, column: int):
+    Every instance carries ``line``, ``column`` (1-based) and ``token`` —
+    the offending source text (``""`` at end of input) — so callers such
+    as the linter can turn parse failures into located diagnostics.
+    """
+
+    def __init__(self, message: str, line: int, column: int, token: str = ""):
         super().__init__(f"{message} (line {line}, column {column})")
+        self.message = message
         self.line = line
         self.column = column
+        self.token = token
 
 
 _TOKEN_RE = re.compile(
@@ -87,7 +94,10 @@ def tokenize(text: str) -> List[Token]:
         match = _TOKEN_RE.match(text, pos)
         if match is None:
             raise ParseError(
-                f"unexpected character {text[pos]!r}", line, pos - line_start + 1
+                f"unexpected character {text[pos]!r}",
+                line,
+                pos - line_start + 1,
+                token=text[pos],
             )
         kind = match.lastgroup
         value = match.group()
@@ -146,13 +156,25 @@ class _Parser:
         token = self._next()
         if token.kind != kind:
             raise ParseError(
-                f"expected {kind!r}, got {token.value!r}", token.line, token.column
+                f"expected {kind!r}, got {token.value!r}",
+                token.line,
+                token.column,
+                token=token.value,
             )
         return token
 
     def _error(self, message: str) -> ParseError:
         token = self._peek()
-        return ParseError(message + f", got {token.value!r}", token.line, token.column)
+        return ParseError(
+            message + f", got {token.value!r}",
+            token.line,
+            token.column,
+            token=token.value,
+        )
+
+    @staticmethod
+    def _loc(token: Token) -> ast.Location:
+        return ast.Location(token.line, token.column)
 
     # -- program -------------------------------------------------------------
 
@@ -174,7 +196,7 @@ class _Parser:
         Desugared into the same internal ``&__minimize`` theory-atom form
         as ``#minimize``: the body becomes the element condition.
         """
-        self._expect(":~")
+        start = self._expect(":~")
         body: Tuple[ast.BodyItem, ...] = ()
         if self._peek().kind != ".":
             body = tuple(self._parse_body())
@@ -193,10 +215,12 @@ class _Parser:
         condition: List[ast.Literal] = []
         for item in body:
             if not isinstance(item, ast.Literal):
+                where = item.location or self._loc(start)
                 raise ParseError(
                     "aggregates are not supported in weak constraint bodies",
-                    self._peek().line,
-                    self._peek().column,
+                    where.line,
+                    where.column,
+                    token=f"#{item.function}",
                 )
             condition.append(item)
         head = ast.TheoryAtom(
@@ -205,7 +229,7 @@ class _Parser:
             (ast.TheoryElement(tuple(terms), tuple(condition)),),
             None,
         )
-        program.rules.append(ast.Rule(head, ()))
+        program.rules.append(ast.Rule(head, (), location=self._loc(start)))
 
     def _parse_directive(self, program: ast.Program) -> None:
         token = self._next()
@@ -227,7 +251,9 @@ class _Parser:
             self._expect(".")
             program.shows.add((name, arity))
         elif token.value in ("#minimize", "#maximize"):
-            self._parse_minimize(program, maximize=token.value == "#maximize")
+            self._parse_minimize(
+                program, maximize=token.value == "#maximize", start=token
+            )
         elif token.value == "#external":
             # "#external atom [: condition]." — desugared into a choice
             # rule (the atom is free) plus a signature record; Control
@@ -240,13 +266,18 @@ class _Parser:
             self._expect(".")
             program.externals.add((atom.name, len(atom.arguments)))
             head = ast.ChoiceHead((ast.ChoiceElement(atom, ()),), None, None)
-            program.rules.append(ast.Rule(head, condition))
+            program.rules.append(ast.Rule(head, condition, location=self._loc(token)))
         else:
             raise ParseError(
-                f"unsupported directive {token.value!r}", token.line, token.column
+                f"unsupported directive {token.value!r}",
+                token.line,
+                token.column,
+                token=token.value,
             )
 
-    def _parse_minimize(self, program: ast.Program, maximize: bool) -> None:
+    def _parse_minimize(
+        self, program: ast.Program, maximize: bool, start: Token
+    ) -> None:
         """Parse ``#minimize { w[@p], t... : cond ; ... }.``
 
         Each element is desugared into an internal theory-atom rule
@@ -279,7 +310,7 @@ class _Parser:
                 (ast.TheoryElement(tuple(terms), condition),),
                 None,
             )
-            program.rules.append(ast.Rule(head, ()))
+            program.rules.append(ast.Rule(head, (), location=self._loc(start)))
             if self._peek().kind == ";":
                 self._next()
                 continue
@@ -290,8 +321,9 @@ class _Parser:
     # -- rules ---------------------------------------------------------------
 
     def _parse_rule(self) -> ast.Rule:
+        start = self._peek()
         head: ast.Head
-        if self._peek().kind == ":-":
+        if start.kind == ":-":
             head = None
         else:
             head = self._parse_head()
@@ -300,7 +332,7 @@ class _Parser:
             self._next()
             body = tuple(self._parse_body())
         self._expect(".")
-        return ast.Rule(head, body)
+        return ast.Rule(head, body, location=self._loc(start))
 
     def _parse_head(self) -> ast.Head:
         token = self._peek()
@@ -389,6 +421,7 @@ class _Parser:
         return items
 
     def _parse_body_item(self) -> ast.BodyItem:
+        start = self._peek()
         sign = 0
         while self._peek().kind == "IDENT" and self._peek().value == "not":
             self._next()
@@ -396,7 +429,7 @@ class _Parser:
         sign %= 2
         token = self._peek()
         if token.kind == "DIRECTIVE" and token.value in ("#count", "#sum", "#min", "#max"):
-            return self._parse_aggregate(sign, left_guard=None)
+            return self._parse_aggregate(sign, left_guard=None, start=start)
         # Could be: atom, comparison, or "term op #agg".
         checkpoint = self._pos
         term = self._parse_term()
@@ -406,16 +439,23 @@ class _Parser:
             if after.kind == "DIRECTIVE" and after.value in ("#count", "#sum", "#min", "#max"):
                 # "t op #agg{...}": normalize to a guard with the aggregate
                 # on the left-hand side.
-                return self._parse_aggregate(sign, left_guard=(_INVERT_OP[op], term))
+                return self._parse_aggregate(
+                    sign, left_guard=(_INVERT_OP[op], term), start=start
+                )
             rhs = self._parse_term()
-            return ast.Literal(sign, ast.Comparison(op, term, rhs))
+            return ast.Literal(
+                sign, ast.Comparison(op, term, rhs), location=self._loc(start)
+            )
         # Plain symbolic atom: re-parse strictly as an atom.
         self._pos = checkpoint
         atom = self._parse_symbolic_atom()
-        return ast.Literal(sign, atom)
+        return ast.Literal(sign, atom, location=self._loc(start))
 
     def _parse_aggregate(
-        self, sign: int, left_guard: Optional[Tuple[str, ast.Term]]
+        self,
+        sign: int,
+        left_guard: Optional[Tuple[str, ast.Term]],
+        start: Optional[Token] = None,
     ) -> ast.Aggregate:
         directive = self._next()
         function = directive.value[1:]
@@ -441,7 +481,14 @@ class _Parser:
         if self._peek().kind in _COMPARISON_TOKENS:
             op = self._next().kind
             right_guard = (op, self._parse_term())
-        return ast.Aggregate(sign, function, tuple(elements), left_guard, right_guard)
+        return ast.Aggregate(
+            sign,
+            function,
+            tuple(elements),
+            left_guard,
+            right_guard,
+            location=self._loc(start or directive),
+        )
 
     def _parse_condition(self) -> List[ast.Literal]:
         """Parse a comma-separated list of literals in an element condition."""
@@ -461,6 +508,7 @@ class _Parser:
         return literals
 
     def _parse_condition_literal(self) -> ast.Literal:
+        start = self._peek()
         sign = 0
         while self._peek().kind == "IDENT" and self._peek().value == "not":
             self._next()
@@ -471,9 +519,13 @@ class _Parser:
         if self._peek().kind in _COMPARISON_TOKENS:
             op = self._next().kind
             rhs = self._parse_term()
-            return ast.Literal(sign, ast.Comparison(op, term, rhs))
+            return ast.Literal(
+                sign, ast.Comparison(op, term, rhs), location=self._loc(start)
+            )
         self._pos = checkpoint
-        return ast.Literal(sign, self._parse_symbolic_atom())
+        return ast.Literal(
+            sign, self._parse_symbolic_atom(), location=self._loc(start)
+        )
 
     # -- atoms and terms -----------------------------------------------------
 
@@ -585,7 +637,10 @@ class _Parser:
                 return ast.FunctionTerm("", tuple(items))
             return items[0]
         raise ParseError(
-            f"unexpected token {token.value!r} in term", token.line, token.column
+            f"unexpected token {token.value!r} in term",
+            token.line,
+            token.column,
+            token=token.value,
         )
 
 
@@ -598,12 +653,21 @@ def parse_ground_term(text: str) -> Symbol:
     """Parse and evaluate a single ground term, returning a symbol."""
     from repro.asp.grounder import evaluate_term
 
-    parser = _Parser(tokenize(text))
+    tokens = tokenize(text)
+    first = tokens[0]
+    parser = _Parser(tokens)
     term = parser._parse_term()
     if parser._peek().kind != "EOF":
         token = parser._peek()
-        raise ParseError("trailing input after term", token.line, token.column)
+        raise ParseError(
+            "trailing input after term", token.line, token.column, token=token.value
+        )
     symbol = evaluate_term(term, {})
     if symbol is None:
-        raise ParseError("term is not ground or not evaluable", 1, 1)
+        raise ParseError(
+            "term is not ground or not evaluable",
+            first.line,
+            first.column,
+            token=first.value,
+        )
     return symbol

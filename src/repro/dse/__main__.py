@@ -53,6 +53,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--output", default=None, help="write the front as JSON to this file"
     )
     options.add_argument(
+        "--lint",
+        action="store_true",
+        help="validate the spec and lint the encoding before exploring "
+        "(exit 1 on error-severity diagnostics)",
+    )
+    options.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="lint diagnostic output format (with --lint)",
+    )
+    options.add_argument(
         "--pin",
         action="append",
         default=[],
@@ -117,6 +129,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         serialize=args.serialize,
         latency_bound=args.latency_bound,
     )
+    lint_report = None
+    if args.lint:
+        from repro.analysis import lint_instance
+
+        lint_report = lint_instance(instance)
+        if lint_report.diagnostics or args.format == "json":
+            print(lint_report.render(args.format))
+        if lint_report.errors:
+            print(f"lint: {lint_report.errors} error(s), aborting")
+            return 1
     pins = {}
     for entry in args.pin:
         task, _, resource = entry.partition("=")
@@ -150,6 +172,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     result = explorer.run()
     stats = result.statistics
+    if lint_report is not None:
+        stats.lint_seconds = lint_report.seconds
+        stats.lint_errors = lint_report.errors
+        stats.lint_warnings = lint_report.warnings
+        stats.lint_infos = lint_report.infos
 
     rows = []
     for point in result.front:
@@ -175,6 +202,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{stats.instantiations} instantiations, {stats.delta_rounds} delta rounds"
         + (", cache hit" if stats.ground_cache_hit else "")
     )
+    if lint_report is not None:
+        print(
+            f"lint: {stats.lint_errors} error(s), {stats.lint_warnings} "
+            f"warning(s), {stats.lint_infos} info(s), {stats.lint_seconds:.3f}s"
+        )
     for worker in stats.per_worker:
         print(
             f"  worker {worker['worker']}: {worker['cubes']} cubes, "

@@ -312,6 +312,12 @@ class DseStatistics:
     #: (parallel exploration sums the parent and all workers; with the
     #: shipped artifact this stays at 1).
     grounds: int = 0
+    #: Wall seconds spent in the static linter (0 when linting was off).
+    lint_seconds: float = 0.0
+    #: Diagnostic counts of the lint run (all zero when linting was off).
+    lint_errors: int = 0
+    lint_warnings: int = 0
+    lint_infos: int = 0
     #: Per-worker breakdowns (parallel exploration only; empty otherwise).
     per_worker: List[Dict[str, object]] = field(default_factory=list)
 
@@ -365,6 +371,10 @@ class DseResult:
                 "delta_rounds": self.statistics.delta_rounds,
                 "ground_cache_hit": self.statistics.ground_cache_hit,
                 "grounds": self.statistics.grounds,
+                "lint_seconds": self.statistics.lint_seconds,
+                "lint_errors": self.statistics.lint_errors,
+                "lint_warnings": self.statistics.lint_warnings,
+                "lint_infos": self.statistics.lint_infos,
                 "per_worker": list(self.statistics.per_worker),
             },
         }
@@ -393,6 +403,7 @@ class ExactParetoExplorer:
         fixed_bindings: Optional[Dict[str, str]] = None,
         ground_program=None,
         ground_cache: bool = True,
+        lint: object = False,
     ):
         """Configure the explorer.
 
@@ -410,6 +421,12 @@ class ExactParetoExplorer:
         (the parallel explorer grounds once and ships the artifact to
         every worker); ``ground_cache=False`` bypasses the shared
         ground-program LRU.
+
+        ``lint`` is forwarded to :meth:`repro.asp.control.Control.ground`:
+        ``True`` runs the static analyzer over the encoding before
+        grounding (diagnostics surface as Python warnings and in the
+        ``lint_*`` statistics), ``"raise"`` aborts on error-severity
+        findings.
         """
         self.instance = instance
         self.epsilon = epsilon
@@ -437,6 +454,7 @@ class ExactParetoExplorer:
         self._fixed_bindings = dict(fixed_bindings or {})
         self._ground_artifact = ground_program
         self._ground_cache = ground_cache
+        self._lint = lint
         self._ground = False
         self.models_enumerated = 0
         self._pending_point: Optional[ParetoPoint] = None
@@ -449,7 +467,9 @@ class ExactParetoExplorer:
         """
         if not self._ground:
             self.control.ground(
-                program=self._ground_artifact, cache=self._ground_cache
+                program=self._ground_artifact,
+                cache=self._ground_cache,
+                lint=self._lint,
             )
             if self._objective_phases:
                 self._apply_objective_phases()
@@ -572,6 +592,12 @@ class ExactParetoExplorer:
         if grounding is not None:
             stats.instantiations = grounding.instantiations
             stats.delta_rounds = grounding.delta_rounds
+        stats.lint_seconds = self.control.lint_seconds
+        report = self.control.lint_report
+        if report is not None:
+            stats.lint_errors = report.errors
+            stats.lint_warnings = report.warnings
+            stats.lint_infos = report.infos
         return stats
 
     def run(self) -> DseResult:

@@ -53,7 +53,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.asp.syntax import Function, Number, Symbol
-from repro.synthesis.model import Specification
+from repro.synthesis.model import Specification, SpecificationError
 
 __all__ = ["ObjectiveSpec", "EncodedInstance", "encode", "OBJECTIVES", "ALL_OBJECTIVES"]
 
@@ -300,6 +300,7 @@ def encode(
     latency_bound: Optional[int] = None,
     routing: str = "free",
     link_contention: bool = False,
+    lint: bool = False,
 ) -> EncodedInstance:
     """Encode ``spec`` as an ASPmT program plus objective declarations.
 
@@ -313,9 +314,22 @@ def encode(
     shortest paths, as with dimension-ordered NoC routing).
     ``link_contention=True`` additionally serializes transmissions that
     share a link (store-and-forward TDMA-style arbitration).
+    ``lint=True`` runs the spec validator (:mod:`repro.analysis.spec`)
+    first and raises :class:`SpecificationError` on error-severity
+    findings — catching unroutable communications or unsatisfiable
+    deadlines before they surface as an inexplicably empty Pareto front.
     """
     if routing not in ("free", "fixed"):
         raise ValueError(f"unknown routing mode {routing!r}")
+    if lint:
+        from repro.analysis import Severity, validate_specification
+
+        findings = validate_specification(spec, objectives)
+        errors = [f for f in findings if f.severity is Severity.ERROR]
+        if errors:
+            raise SpecificationError(
+                "; ".join(f"[{f.rule}] {f.message}" for f in errors)
+            )
     h = horizon if horizon is not None else spec.horizon()
     parts = ["#const h = {}.".format(h)]
     parts.extend(_facts(spec))

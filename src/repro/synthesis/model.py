@@ -285,6 +285,17 @@ class Specification:
     def max_cost(self) -> int:
         return sum(r.cost for r in self.architecture.resources)
 
+    def lint(self, objectives: Optional[Sequence[str]] = None) -> list:
+        """Static diagnostics for this spec (see :mod:`repro.analysis.spec`).
+
+        Returns a list of :class:`repro.analysis.Diagnostic` — empty when
+        the spec has no unroutable communications, isolated resources,
+        unsatisfiable deadlines, or degenerate objectives.
+        """
+        from repro.analysis.spec import validate_specification
+
+        return validate_specification(self, objectives)
+
     def summary(self) -> Dict[str, int]:
         """Instance characteristics (the Table I columns)."""
         return {

@@ -1,0 +1,276 @@
+"""Tests for the static analyzer (repro.analysis).
+
+Covers the golden lint corpus under ``tests/corpus/lint/`` (every
+seeded defect must be flagged with the expected rule id and position),
+the zero-false-positive guarantee over the shipped corpora and
+encodings, suppression comments, the CLI front-ends, the ``Control``
+lint hook, the specification validator, and the statistics plumbing.
+"""
+
+import copy
+import dataclasses
+import glob
+import json
+import os
+import warnings
+
+import pytest
+
+from repro.analysis import (
+    Diagnostic,
+    LintConfig,
+    LintError,
+    Severity,
+    lint_instance,
+    lint_text,
+    validate_specification,
+)
+from repro.analysis.cli import lint_main
+from repro.analysis.diagnostics import filter_suppressed, suppressions
+from repro.asp.control import Control
+from repro.synthesis.encoding import SpecificationError, encode
+from repro.workloads import WorkloadConfig, generate_specification
+from repro.workloads.curated import CURATED_NAMES, curated
+
+CORPUS = os.path.join(os.path.dirname(__file__), "corpus")
+LINT_CORPUS = os.path.join(CORPUS, "lint")
+
+
+def summarize(report):
+    """Render diagnostics in the golden-file format: line:col severity[id]."""
+    lines = []
+    for diagnostic in report.diagnostics:
+        span = diagnostic.span
+        where = f"{span.line}:{span.column}" if span is not None else "-"
+        lines.append(f"{where} {diagnostic.severity}[{diagnostic.rule}]")
+    return lines
+
+
+class TestGoldenCorpus:
+    @pytest.mark.parametrize(
+        "path",
+        sorted(glob.glob(os.path.join(LINT_CORPUS, "*.lp"))),
+        ids=lambda path: os.path.splitext(os.path.basename(path))[0],
+    )
+    def test_expected_diagnostics(self, path):
+        with open(path) as handle:
+            text = handle.read()
+        golden = os.path.splitext(path)[0] + ".expected"
+        with open(golden) as handle:
+            expected = handle.read().splitlines()
+        report = lint_text(text, filename=path)
+        assert summarize(report) == expected
+
+    def test_corpus_is_nonempty(self):
+        assert len(glob.glob(os.path.join(LINT_CORPUS, "*.lp"))) >= 9
+
+
+class TestZeroFalsePositives:
+    """Error-severity diagnostics must never fire on working programs."""
+
+    @pytest.mark.parametrize(
+        "path",
+        sorted(glob.glob(os.path.join(CORPUS, "*.lp"))),
+        ids=lambda path: os.path.splitext(os.path.basename(path))[0],
+    )
+    def test_shipped_corpus(self, path):
+        with open(path) as handle:
+            report = lint_text(handle.read(), filename=path)
+        assert report.errors == 0, [str(d) for d in report.diagnostics]
+
+    @pytest.mark.parametrize("name", CURATED_NAMES)
+    def test_curated_workloads(self, name):
+        report = lint_instance(encode(curated(name)))
+        assert report.errors == 0, [str(d) for d in report.diagnostics]
+
+    def test_generated_encoding(self):
+        spec = generate_specification(WorkloadConfig())
+        for kwargs in ({}, {"serialize": True}, {"link_contention": True}):
+            report = lint_instance(encode(spec, **kwargs))
+            assert report.errors == 0, [str(d) for d in report.diagnostics]
+
+
+class TestSuppression:
+    def test_trailing_comment_suppresses_line(self):
+        text = "p(X) :- not q(X). % lint: disable=unsafe-variable\nq(1).\n"
+        report = lint_text(text)
+        assert "unsafe-variable" not in {d.rule for d in report.diagnostics}
+
+    def test_standalone_comment_suppresses_file(self):
+        text = "% lint: disable=undefined-predicate\na :- missing.\n"
+        report = lint_text(text)
+        assert "undefined-predicate" not in {d.rule for d in report.diagnostics}
+
+    def test_all_wildcard(self):
+        text = "% lint: disable=all\np(X) :- not q(X).\n"
+        assert lint_text(text).diagnostics == []
+
+    def test_unsuppressed_rules_survive(self):
+        text = "p(X) :- not q(X). % lint: disable=undefined-predicate\n"
+        assert "unsafe-variable" in {d.rule for d in lint_text(text).diagnostics}
+
+    def test_suppressions_parser(self):
+        file_wide, by_line = suppressions(
+            "a. % lint: disable=dead-rule,unused-predicate\n"
+        )
+        assert file_wide == set()
+        assert by_line[1] == {"dead-rule", "unused-predicate"}
+
+    def test_filter_respects_span_line(self):
+        text = "a.\nb. % lint: disable=dead-rule\n"
+        kept = Diagnostic("dead-rule", Severity.WARNING, "m")
+        assert filter_suppressed([kept], text) == [kept]
+
+
+class TestConfigDisable:
+    def test_disabled_rule_not_reported(self):
+        config = LintConfig(disable=frozenset({"undefined-predicate"}))
+        report = lint_text("a :- missing.", config=config)
+        assert "undefined-predicate" not in {d.rule for d in report.diagnostics}
+
+    def test_blowup_threshold(self):
+        text = "n(1..40).\nt(A,B) :- n(A), n(B).\n#show t/2."
+        assert "grounding-blowup" not in {
+            d.rule for d in lint_text(text).diagnostics
+        }
+        strict = LintConfig(blowup_threshold=100.0)
+        report = lint_text(text, config=strict)
+        assert "grounding-blowup" in {d.rule for d in report.diagnostics}
+
+
+class TestParseErrorDiagnostic:
+    def test_syntax_error_becomes_diagnostic(self):
+        report = lint_text("p(1)\nq(2).")
+        assert report.errors == 1
+        diagnostic = report.diagnostics[0]
+        assert diagnostic.rule == "parse-error"
+        assert diagnostic.span.line == 2
+
+
+class TestRenderAndExitCodes:
+    def test_json_roundtrip(self):
+        report = lint_text("a :- missing.", filename="demo.lp")
+        payload = json.loads(report.render("json"))
+        assert payload["warnings"] == report.warnings
+        assert payload["diagnostics"][0]["span"]["file"] == "demo.lp"
+
+    def test_text_summary_line(self):
+        report = lint_text("a.", filename="ok.lp")
+        assert "0 error(s)" in report.render("text").splitlines()[-1]
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.lp"
+        clean.write_text("a.\n")
+        broken = tmp_path / "broken.lp"
+        broken.write_text("p(X) :- not q(X).\nq(1).\n")
+        assert lint_main([str(clean)]) == 0
+        assert lint_main([str(broken)]) == 1
+        out = capsys.readouterr().out
+        assert "unsafe-variable" in out
+
+    def test_cli_directory_expansion(self, capsys):
+        assert lint_main([LINT_CORPUS, "--format=json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["errors"] >= 3
+
+    def test_cli_disable(self, tmp_path, capsys):
+        broken = tmp_path / "broken.lp"
+        broken.write_text("p(X) :- not q(X).\nq(1).\n")
+        assert lint_main([str(broken), "--disable", "unsafe-variable"]) == 0
+        capsys.readouterr()
+
+
+class TestControlHook:
+    def test_lint_warn_emits_warnings(self):
+        control = Control()
+        control.add("a :- missing.")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            control.ground(lint=True)
+        assert any("undefined-predicate" in str(w.message) for w in caught)
+        assert control.lint_report is not None
+
+    def test_lint_raise_on_error(self):
+        control = Control()
+        control.add("p(X) :- not q(X). q(1).")
+        with pytest.raises(LintError) as excinfo:
+            control.ground(lint="raise")
+        assert excinfo.value.report.errors >= 1
+
+    def test_lint_off_by_default(self):
+        control = Control()
+        control.add("a.")
+        control.ground()
+        assert control.lint_report is None
+
+
+class TestSpecValidator:
+    def test_clean_spec(self):
+        spec = generate_specification(WorkloadConfig())
+        assert validate_specification(spec) == []
+        assert spec.lint() == []
+
+    @staticmethod
+    def _with_task(spec, task):
+        """Rebuild the (frozen) spec with one task replaced."""
+        tasks = tuple(
+            task if t.name == task.name else t for t in spec.application.tasks
+        )
+        application = dataclasses.replace(spec.application, tasks=tasks)
+        return dataclasses.replace(spec, application=application)
+
+    def test_unsatisfiable_deadline(self):
+        spec = generate_specification(WorkloadConfig())
+        task = spec.application.tasks[0]
+        fastest = min(o.wcet for o in spec.options_of(task.name))
+        assert fastest > 1, "generated WCETs should leave room for a deadline"
+        broken = self._with_task(
+            spec, dataclasses.replace(task, deadline=fastest - 1)
+        )
+        findings = validate_specification(broken)
+        assert "spec-unsatisfiable-deadline" in {f.rule for f in findings}
+
+    @staticmethod
+    def _without_mappings(spec, name):
+        # The Specification constructor rejects unmappable tasks outright,
+        # so sneak past __post_init__ to exercise the defensive check.
+        broken = copy.copy(spec)
+        object.__setattr__(
+            broken, "mappings", tuple(m for m in spec.mappings if m.task != name)
+        )
+        return broken
+
+    def test_unmappable_task(self):
+        spec = generate_specification(WorkloadConfig())
+        name = spec.application.tasks[0].name
+        broken = self._without_mappings(spec, name)
+        findings = validate_specification(broken)
+        assert "spec-unmappable-task" in {f.rule for f in findings}
+
+    def test_encode_lint_gate(self):
+        spec = generate_specification(WorkloadConfig())
+        name = spec.application.tasks[0].name
+        broken = self._without_mappings(spec, name)
+        with pytest.raises(SpecificationError, match="spec-unmappable-task"):
+            encode(broken, lint=True)
+
+    def test_encode_lint_clean_passes(self):
+        spec = generate_specification(WorkloadConfig())
+        instance = encode(spec, lint=True)
+        assert instance.program
+
+
+class TestStatisticsPlumbing:
+    def test_explorer_lint_stats(self):
+        spec = generate_specification(WorkloadConfig(tasks=3, seed=2))
+        instance = encode(spec, objectives=("latency",))
+        from repro.dse.explorer import ExactParetoExplorer
+
+        explorer = ExactParetoExplorer(instance, lint=True)
+        result = explorer.run()
+        stats = result.statistics
+        assert stats.lint_seconds > 0.0
+        assert stats.lint_errors == 0
+        payload = result.to_dict()["statistics"]
+        assert payload["lint_errors"] == 0
+        assert payload["lint_seconds"] == stats.lint_seconds

@@ -184,3 +184,87 @@ class TestDirectives:
     def test_unknown_directive(self):
         with pytest.raises(ParseError):
             parse_program("#foo bar.")
+
+
+class TestErrorPositions:
+    """Every ParseError carries line/column and the offending token."""
+
+    def test_missing_dot_at_eof(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("a :- b")
+        error = excinfo.value
+        assert (error.line, error.column) == (1, 7)
+        assert error.token == ""
+        assert "expected '.'" in error.message
+
+    def test_unsupported_directive(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("#foo bar.")
+        error = excinfo.value
+        assert (error.line, error.column) == (1, 1)
+        assert error.token == "#foo"
+
+    def test_garbage_character(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("a.\n?b.")
+        error = excinfo.value
+        assert (error.line, error.column) == (2, 1)
+        assert error.token == "?"
+
+    def test_unexpected_token(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("p(X) :~ q(X). [1@0]")
+        error = excinfo.value
+        assert (error.line, error.column) == (1, 6)
+        assert error.token == ":~"
+
+    def test_weak_constraint_aggregate(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("p(1).\n:~ #count { X : p(X) } > 1. [1@0]")
+        error = excinfo.value
+        assert (error.line, error.column) == (2, 4)
+        assert error.token == "#count"
+        assert "weak constraint" in error.message
+
+    def test_ground_term_not_ground(self):
+        from repro.asp.parser import parse_ground_term
+
+        with pytest.raises(ParseError) as excinfo:
+            parse_ground_term("f(X)")
+        error = excinfo.value
+        assert (error.line, error.column) == (1, 1)
+        assert error.token == "f"
+
+    def test_ground_term_trailing_input(self):
+        from repro.asp.parser import parse_ground_term
+
+        with pytest.raises(ParseError) as excinfo:
+            parse_ground_term("1 2")
+        error = excinfo.value
+        assert (error.line, error.column) == (1, 3)
+        assert error.token == "2"
+
+    def test_str_mentions_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("a :- b")
+        assert "line 1" in str(excinfo.value)
+
+
+class TestLocations:
+    """Rules and literals are stamped with their source location."""
+
+    def test_rule_and_literal_locations(self):
+        program = parse_program("a.\n  b :- not c.\nd :- e, not f.")
+        first, second, third = program.rules
+        assert (first.location.line, first.location.column) == (1, 1)
+        assert (second.location.line, second.location.column) == (2, 3)
+        # The literal location covers the `not`, not just the atom.
+        assert (second.body[0].location.line, second.body[0].location.column) == (2, 8)
+        assert (third.body[0].location.line, third.body[0].location.column) == (3, 6)
+        assert (third.body[1].location.line, third.body[1].location.column) == (3, 9)
+
+    def test_location_ignored_by_equality(self):
+        left = parse_program("p(1) :- q(1).").rules[0]
+        right = parse_program("\n\n   p(1) :- q(1).").rules[0]
+        assert left == right
+        assert left.location != right.location
