@@ -1459,14 +1459,18 @@ class Grounder:
         """Evaluate an aggregate whose elements are all decided."""
         if any(element.conditions != ((),) for element in aggregate.elements):
             return aggregate
-        weights = [element.weight for element in aggregate.elements]
         if aggregate.function == "count":
-            value: Optional[int] = len(weights)
+            # #count has set semantics over whole tuples: elements carry
+            # no integer weight (completion/naive already count each
+            # tuple as 1), so .weight must not be evaluated here.
+            value: Optional[int] = len(aggregate.elements)
         elif aggregate.function == "sum":
-            value = sum(weights)
+            value = sum(element.weight for element in aggregate.elements)
         elif aggregate.function == "min":
+            weights = [element.weight for element in aggregate.elements]
             value = min(weights) if weights else None  # empty: #sup
         elif aggregate.function == "max":
+            weights = [element.weight for element in aggregate.elements]
             value = max(weights) if weights else None  # empty: #inf
         else:
             raise GroundingError(f"unknown aggregate {aggregate.function!r}")

@@ -27,6 +27,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     source.add_argument("--tasks", type=int, default=6, help="generator: #tasks")
     source.add_argument("--seed", type=int, default=0, help="generator seed")
     source.add_argument(
+        "--fuzz-replay",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="rebuild the fuzzer's spec input for SEED (from a "
+        "'python -m repro.fuzz' finding's seed line) and explore it; "
+        "overrides --spec/--tasks/--objectives/--latency-bound",
+    )
+    source.add_argument(
         "--platform", choices=("mesh", "bus", "ring"), default="mesh"
     )
     source.add_argument("--size", default="2x2", help="mesh COLSxROWS or node count")
@@ -104,7 +113,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.spec:
+    if args.fuzz_replay is not None:
+        from repro.fuzz.generators import generate_spec
+
+        fuzz_input = generate_spec(args.fuzz_replay)
+        spec = fuzz_input.specification
+        args.objectives = ",".join(fuzz_input.objectives)
+        args.latency_bound = fuzz_input.latency_bound
+        print(
+            f"fuzz replay: seed {args.fuzz_replay}, "
+            f"notes: {', '.join(fuzz_input.notes) or 'none'}"
+        )
+    elif args.spec:
         spec = load_specification(args.spec)
     else:
         if args.platform == "mesh":

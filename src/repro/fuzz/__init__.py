@@ -1,0 +1,79 @@
+"""Differential fuzzing & metamorphic testing for the ASPmT stack.
+
+The paper's headline claim is *exactness*: the enumerated front is the
+complete Pareto front.  After several rounds of aggressive optimisation
+(parallel subspace workers, semi-naive grounding, shared ground-program
+caches) that claim rests on independently-optimised code paths agreeing
+with each other.  This package turns those pairwise agreements into a
+first-class, continuously-running correctness subsystem:
+
+* :mod:`repro.fuzz.generators` — seedable random ASP programs
+  (stratified/unstratified negation, aggregates, theory atoms) and
+  random :class:`~repro.synthesis.model.Specification` instances with
+  adversarial knobs (near-infeasible deadlines, thinned mapping options,
+  tie-heavy objective weights);
+* :mod:`repro.fuzz.oracles` — pluggable cross-checks that run each
+  input through independent paths and compare (semi-naive vs naive
+  grounding, exact explorer vs exhaustive enumeration vs parallel
+  workers, pickle round-trips, lint-clean implies grounds, metamorphic
+  invariances under scaling/renaming/reordering);
+* :mod:`repro.fuzz.shrinker` — delta debugging that minimises any
+  crashing or diverging input to a small deterministic reproducer;
+* :mod:`repro.fuzz.corpus` — the reproducer file format plus the
+  regression replayer over ``tests/corpus/fuzz/``;
+* :mod:`repro.fuzz.harness` — the budgeted driver behind
+  ``python -m repro.fuzz``.
+
+See ``docs/FUZZING.md`` for the oracle matrix and workflow.
+"""
+
+from repro.fuzz.corpus import (
+    load_reproducer,
+    replay_corpus,
+    replay_file,
+    write_reproducer,
+)
+from repro.fuzz.generators import (
+    ProgramInput,
+    SpecInput,
+    generate_input,
+    generate_program,
+    generate_spec,
+    input_kind,
+)
+from repro.fuzz.harness import Finding, FuzzHarness, FuzzReport, OracleStats
+from repro.fuzz.oracles import (
+    ORACLES,
+    Divergence,
+    Oracle,
+    Skip,
+    oracle_names,
+    select_oracles,
+)
+from repro.fuzz.shrinker import ddmin, shrink_program, shrink_spec
+
+__all__ = [
+    "Divergence",
+    "Finding",
+    "FuzzHarness",
+    "FuzzReport",
+    "ORACLES",
+    "Oracle",
+    "OracleStats",
+    "ProgramInput",
+    "Skip",
+    "SpecInput",
+    "ddmin",
+    "generate_input",
+    "generate_program",
+    "generate_spec",
+    "input_kind",
+    "load_reproducer",
+    "oracle_names",
+    "replay_corpus",
+    "replay_file",
+    "select_oracles",
+    "shrink_program",
+    "shrink_spec",
+    "write_reproducer",
+]

@@ -1,0 +1,109 @@
+"""CLI: differential fuzzing of the ASPmT stack.
+
+Usage::
+
+    python -m repro.fuzz --budget 200 --seed 0
+    python -m repro.fuzz --budget 50 --oracle grounding,solving
+    python -m repro.fuzz --budget 500 --shrink --corpus tests/corpus/fuzz
+    python -m repro.fuzz --list-oracles
+
+Exit status is 0 when every oracle stayed green, 1 otherwise.  Every
+finding prints a *seed line*: re-running it reproduces exactly that
+input and oracle.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.fuzz.harness import FuzzHarness
+from repro.fuzz.oracles import ORACLES, oracle_names
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.fuzz", description=__doc__)
+    parser.add_argument(
+        "--budget", type=int, default=100, help="number of generated inputs"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument(
+        "--oracle",
+        action="append",
+        default=[],
+        help="oracle name(s), comma-separable and repeatable (default: all)",
+    )
+    parser.add_argument(
+        "--shrink",
+        action="store_true",
+        help="minimise findings and write reproducers to the corpus",
+    )
+    parser.add_argument(
+        "--corpus",
+        default=None,
+        help="reproducer directory (with --shrink; default tests/corpus/fuzz)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full report as JSON (stats are always summarised)",
+    )
+    parser.add_argument(
+        "--list-oracles", action="store_true", help="list oracles and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_oracles:
+        for name, oracle in ORACLES.items():
+            doc = (oracle.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:12s} [{oracle.kind:7s}] {doc}")
+        return 0
+
+    names: List[str] = []
+    for entry in args.oracle:
+        names.extend(part.strip() for part in entry.split(",") if part.strip())
+    unknown = [name for name in names if name not in ORACLES]
+    if unknown:
+        parser.error(f"unknown oracle(s) {unknown}; have {oracle_names()}")
+
+    corpus_dir = args.corpus
+    if args.shrink and corpus_dir is None:
+        from repro.fuzz.corpus import CORPUS_DIR
+
+        corpus_dir = CORPUS_DIR
+
+    harness = FuzzHarness(
+        oracles=names or None,
+        base_seed=args.seed,
+        shrink=args.shrink,
+        corpus_dir=corpus_dir,
+    )
+
+    def announce(finding) -> None:
+        print(f"FAIL [{finding.oracle}] {finding.failure}: {finding.message}")
+        print(f"  seed line: {finding.seed_line}")
+        if finding.reproducer:
+            print(f"  reproducer: {finding.reproducer}")
+
+    report = harness.run(args.budget, on_finding=announce)
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(
+            f"\nfuzz: {report.inputs} inputs, {len(report.findings)} "
+            f"finding(s), {report.wall_time:.2f}s (seed {report.base_seed})"
+        )
+        for name, stats in report.oracle_stats.items():
+            print(
+                f"  {name:12s} {stats.inputs:5d} inputs, {stats.skips:4d} "
+                f"skips, {stats.failures:3d} failures, "
+                f"{stats.inputs_per_second:8.1f} inputs/s"
+            )
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Reproducer corpus: persisted fuzz findings and their replayer.
+
+Every finding the shrinker minimises is written as one compact JSON
+file under ``tests/corpus/fuzz/`` and replayed by the tier-1 suite
+(``tests/test_fuzz.py::test_corpus_replays_green``), so a fixed bug
+stays fixed.
+
+File format (single line of JSON; ``description`` carries the story):
+
+* common — ``oracle``, ``kind`` (``program``/``spec``), ``seed``,
+  ``description``;
+* program findings — ``program`` (the shrunken rule text);
+* spec findings — ``spec`` (the :mod:`repro.synthesis.io` dict),
+  ``objectives``, ``latency_bound``.
+
+Conventions: files are named ``<oracle>_<seed>.json``; never edit a
+reproducer in place — if the minimised input stops being interesting,
+delete the file and let the fuzzer find a fresh one.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.fuzz.generators import ProgramInput, SpecInput
+from repro.fuzz.oracles import ORACLES, Skip
+from repro.synthesis.io import specification_from_dict, specification_to_dict
+
+__all__ = [
+    "CORPUS_DIR",
+    "load_reproducer",
+    "replay_corpus",
+    "replay_file",
+    "write_reproducer",
+]
+
+#: Default corpus location (inside the repository's test tree).
+CORPUS_DIR = (
+    Path(__file__).resolve().parents[3] / "tests" / "corpus" / "fuzz"
+)
+
+FuzzInput = Union[ProgramInput, SpecInput]
+
+
+def write_reproducer(
+    directory: Union[str, Path],
+    oracle: str,
+    input: FuzzInput,
+    description: str = "",
+) -> Path:
+    """Persist a (shrunken) failing input; returns the file path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    record = {
+        "oracle": oracle,
+        "kind": input.kind,
+        "seed": input.seed,
+        "description": description,
+    }
+    if isinstance(input, ProgramInput):
+        record["program"] = input.text
+    else:
+        record["spec"] = specification_to_dict(input.specification)
+        record["objectives"] = list(input.objectives)
+        record["latency_bound"] = input.latency_bound
+    path = directory / f"{oracle}_{input.seed}.json"
+    path.write_text(
+        json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+    )
+    return path
+
+
+def load_reproducer(path: Union[str, Path]) -> Tuple[str, FuzzInput]:
+    """Read one reproducer file; returns ``(oracle_name, input)``."""
+    record = json.loads(Path(path).read_text())
+    oracle = record["oracle"]
+    if oracle not in ORACLES:
+        raise KeyError(f"{path}: unknown oracle {oracle!r}")
+    if record["kind"] == "program":
+        return oracle, ProgramInput(seed=record["seed"], text=record["program"])
+    spec = specification_from_dict(record["spec"])
+    return oracle, SpecInput(
+        seed=record["seed"],
+        specification=spec,
+        objectives=tuple(record.get("objectives") or ("latency", "energy", "cost")),
+        latency_bound=record.get("latency_bound"),
+    )
+
+
+def replay_file(path: Union[str, Path]) -> str:
+    """Re-run one reproducer through its oracle.
+
+    Returns ``"ok"`` or ``"skip"``; raises (Divergence or the original
+    crash) when the finding still reproduces.
+    """
+    oracle_name, input = load_reproducer(path)
+    try:
+        ORACLES[oracle_name].check(input)
+    except Skip:
+        return "skip"
+    return "ok"
+
+
+def replay_corpus(
+    directory: Union[str, Path, None] = None,
+) -> List[Tuple[Path, str]]:
+    """Replay every reproducer under ``directory`` (default corpus).
+
+    Raises on the first reproducer that fails again; returns the
+    ``(path, status)`` list otherwise.
+    """
+    directory = Path(directory) if directory is not None else CORPUS_DIR
+    results: List[Tuple[Path, str]] = []
+    for path in sorted(directory.glob("*.json")):
+        results.append((path, replay_file(path)))
+    return results

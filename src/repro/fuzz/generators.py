@@ -1,0 +1,268 @@
+"""Seedable random inputs for the differential fuzzing harness.
+
+Two input families, both deterministic in a single integer seed:
+
+* :func:`generate_program` — a small ASP program mixing the shapes the
+  grounder and solver must agree on: ground rules with (possibly
+  unstratified) negation, integrity constraints, bounded/unbounded
+  choices, ``#sum``/``#min``/``#max``/``#count`` aggregates, non-ground
+  recursion over interval facts, and ``&dom``/``&sum`` theory atoms
+  (mirroring :func:`repro.tests.test_asp_properties` strategies, but
+  driven by :class:`random.Random` so any finding replays from its
+  printed seed);
+* :func:`generate_spec` — a synthesis :class:`Specification` layered on
+  :func:`repro.workloads.generator.generate_specification` with
+  adversarial knobs: near-infeasible latency bounds, thinned mapping
+  options (disconnected-ish design spaces), and uniform energy weights
+  (maximally tie-heavy objectives).
+
+The kind of the input (program vs. specification) is itself a pure
+function of the seed (:func:`input_kind`), so ``--budget 1 --seed S``
+regenerates exactly the input that seed produced in a longer run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+from repro.synthesis.model import MappingOption, Specification
+from repro.workloads.generator import WorkloadConfig, generate_specification
+
+__all__ = [
+    "ProgramInput",
+    "SpecInput",
+    "generate_input",
+    "generate_program",
+    "generate_spec",
+    "input_kind",
+]
+
+#: Ground atom pool of the propositional fragment.
+ATOMS = ("a", "b", "c", "d")
+
+#: One in this many inputs is a specification (the rest are programs);
+#: spec oracles run full Pareto explorations and are far more expensive.
+SPEC_PERIOD = 8
+
+
+@dataclass(frozen=True)
+class ProgramInput:
+    """A generated ASP program (one rule per line)."""
+
+    seed: int
+    text: str
+
+    @property
+    def kind(self) -> str:
+        return "program"
+
+    @property
+    def has_theory(self) -> bool:
+        return "&" in self.text
+
+
+@dataclass(frozen=True)
+class SpecInput:
+    """A generated synthesis instance plus its encoding options."""
+
+    seed: int
+    specification: Specification
+    objectives: Tuple[str, ...] = ("latency", "energy", "cost")
+    latency_bound: Optional[int] = None
+    #: Human-readable adversarial knobs applied, for finding reports.
+    notes: Tuple[str, ...] = ()
+
+    @property
+    def kind(self) -> str:
+        return "spec"
+
+
+# ---------------------------------------------------------------------------
+# Program generation
+# ---------------------------------------------------------------------------
+
+
+def _literal(rng: random.Random, atom: str) -> str:
+    return ("not " if rng.random() < 0.4 else "") + atom
+
+
+def _normal_rule(rng: random.Random) -> str:
+    head = rng.choice(ATOMS)
+    body = [_literal(rng, rng.choice(ATOMS)) for _ in range(rng.randint(0, 3))]
+    if not body:
+        return f"{head}."
+    return f"{head} :- {', '.join(body)}."
+
+
+def _constraint(rng: random.Random) -> str:
+    body = [_literal(rng, rng.choice(ATOMS)) for _ in range(rng.randint(1, 3))]
+    return f":- {', '.join(body)}."
+
+
+def _choice_rule(rng: random.Random) -> str:
+    elements = rng.sample(ATOMS, rng.randint(1, 3))
+    inner = "; ".join(elements)
+    if rng.random() < 0.5:
+        lower = rng.randint(0, len(elements))
+        upper = rng.randint(lower, len(elements))
+        return f"{lower} {{ {inner} }} {upper}."
+    return f"{{ {inner} }}."
+
+
+def _aggregate_rule(rng: random.Random) -> str:
+    # Heads stay disjoint from the element atoms: recursion through
+    # aggregates is (deliberately) rejected by the grounder.
+    head = rng.choice(("x", "y"))
+    function = rng.choice(("sum", "min", "max", "count"))
+    elements = rng.sample(ATOMS, rng.randint(1, 3))
+    op = rng.choice((">=", "<=", "=", "!=", "<", ">"))
+    bound = rng.randint(-2, 4)
+    if function == "count":
+        inner = "; ".join(f"{atom} : {atom}" for atom in elements)
+    else:
+        inner = "; ".join(
+            f"{rng.randint(-2, 3)},{atom} : {atom}" for atom in elements
+        )
+    return f"{head} :- #{function} {{ {inner} }} {op} {bound}."
+
+
+def _variable_fragment(rng: random.Random) -> List[str]:
+    """Non-ground recursion over interval facts (safe by construction)."""
+    n = rng.randint(2, 4)
+    rules = [f"p(1..{n})."]
+    for _ in range(rng.randint(1, 3)):
+        rules.append(f"edge({rng.randint(1, n)},{rng.randint(1, n)}).")
+    shapes = [
+        f"p(X+1) :- p(X), X < {n + rng.randint(0, 2)}.",
+        "q(X) :- p(X), not edge(X,X).",
+        f"c :- #count {{ X : pick(X) }} >= {rng.randint(1, n)}.",
+        ":- pick(X), pick(Y), X < Y, not c.",
+        f"s :- #sum {{ X,X : pick(X) }} >= {rng.randint(2, n + 2)}.",
+        "r(X) :- q(X), pick(X).",
+    ]
+    chosen = rng.sample(shapes, rng.randint(1, 4))
+    if rng.random() < 0.5:
+        chosen += ["path(X,Y) :- edge(X,Y).", "path(X,Z) :- path(X,Y), edge(Y,Z)."]
+    if any("pick(" in shape for shape in chosen):
+        rules.append("{ pick(X) : p(X) }.")
+    if any("q(X)" in shape and not shape.startswith("q(X)") for shape in chosen):
+        rules.append("q(X) :- p(X), not edge(X,X).")
+    rules.extend(shape for shape in dict.fromkeys(chosen) if shape not in rules)
+    return rules
+
+
+def _theory_fragment(rng: random.Random) -> List[str]:
+    """``&dom``/``&sum`` rules shaped like the synthesis encoding."""
+    n = rng.randint(2, 3)
+    bound = rng.randint(0, 2)
+    rules = [
+        f"tk(1..{n}).",
+        f"&dom {{ 0..{rng.randint(3, 6)} }} = v(X) :- tk(X).",
+        f"&sum {{ v(Y) - v(X) ; -{rng.randint(1, 2)}, X : tk(X) }} >= {bound}"
+        " :- tk(X), tk(Y), X < Y.",
+    ]
+    return rules
+
+
+def generate_program(seed: int) -> ProgramInput:
+    """A random program, deterministic in ``seed``."""
+    rng = random.Random(f"fuzz-program-{seed}")
+    rules: List[str] = []
+    propositional = (_normal_rule, _constraint, _choice_rule, _aggregate_rule)
+    for _ in range(rng.randint(1, 7)):
+        rules.append(rng.choice(propositional)(rng))
+    if rng.random() < 0.5:
+        rules.extend(_variable_fragment(rng))
+    if rng.random() < 0.2:
+        rules.extend(_theory_fragment(rng))
+    return ProgramInput(seed=seed, text="\n".join(rules))
+
+
+# ---------------------------------------------------------------------------
+# Specification generation
+# ---------------------------------------------------------------------------
+
+
+def _thin_mappings(spec: Specification, rng: random.Random) -> Specification:
+    """Drop mapping options (keeping >= 1 per task): near-disconnected spaces."""
+    by_task = {}
+    for option in spec.mappings:
+        by_task.setdefault(option.task, []).append(option)
+    kept: List[MappingOption] = []
+    for task, options in by_task.items():
+        keep = max(1, rng.randint(1, len(options)))
+        kept.extend(rng.sample(options, keep))
+    return Specification(spec.application, spec.architecture, tuple(kept))
+
+
+def _flatten_energies(spec: Specification, rng: random.Random) -> Specification:
+    """Give every option the same energy: maximally tie-heavy objectives."""
+    energy = rng.randint(1, 3)
+    flat = tuple(replace(option, energy=energy) for option in spec.mappings)
+    return Specification(spec.application, spec.architecture, flat)
+
+
+_OBJECTIVE_CHOICES: Tuple[Tuple[str, ...], ...] = (
+    ("latency", "energy", "cost"),
+    ("latency", "energy"),
+    ("latency", "cost"),
+    ("energy", "cost"),
+)
+
+
+def generate_spec(seed: int) -> SpecInput:
+    """A random (small, adversarial) synthesis instance for ``seed``."""
+    rng = random.Random(f"fuzz-spec-{seed}")
+    platform = rng.choice(("mesh", "bus", "ring"))
+    if platform == "mesh":
+        size: Tuple[int, int] = (2, 2)
+    else:
+        size = (rng.randint(2, 3), 0)
+    config = WorkloadConfig(
+        tasks=rng.randint(1, 4),
+        seed=rng.randrange(1_000_000),
+        platform=platform,
+        platform_size=size,
+        options_per_task=(1, rng.randint(1, 3)),
+        message_probability=rng.uniform(0.2, 1.0),
+        max_message_size=rng.randint(1, 3),
+    )
+    spec = generate_specification(config)
+    notes: List[str] = [config.name()]
+    if rng.random() < 0.35:
+        spec = _thin_mappings(spec, rng)
+        notes.append("thinned mappings")
+    if rng.random() < 0.25:
+        spec = _flatten_energies(spec, rng)
+        notes.append("uniform energies")
+    latency_bound: Optional[int] = None
+    if rng.random() < 0.3:
+        # Near-infeasible deadline: a small fraction of the horizon, so
+        # the feasible space is tiny or empty — both paths must agree on
+        # *which* tiny-or-empty front that is.
+        latency_bound = max(1, int(spec.horizon() * rng.uniform(0.05, 0.35)))
+        notes.append(f"latency_bound={latency_bound}")
+    objectives = rng.choice(_OBJECTIVE_CHOICES)
+    return SpecInput(
+        seed=seed,
+        specification=spec,
+        objectives=objectives,
+        latency_bound=latency_bound,
+        notes=tuple(notes),
+    )
+
+
+def input_kind(seed: int) -> str:
+    """``"program"`` or ``"spec"`` — a pure function of the seed."""
+    if random.Random(f"fuzz-kind-{seed}").randrange(SPEC_PERIOD) == 0:
+        return "spec"
+    return "program"
+
+
+def generate_input(seed: int):
+    """The input owned by ``seed`` (kind chosen by :func:`input_kind`)."""
+    if input_kind(seed) == "spec":
+        return generate_spec(seed)
+    return generate_program(seed)

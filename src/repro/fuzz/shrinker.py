@@ -1,0 +1,311 @@
+"""Delta-debugging shrinker for crashing/diverging fuzz inputs.
+
+Given a failing input and a predicate ("does this candidate still
+fail?"), the shrinker searches for a small input that still triggers
+the failure:
+
+* programs — classic ``ddmin`` over the rule lines, then integer
+  shrinking (every numeric literal is pushed toward 0/1 while the
+  failure persists);
+* specifications — structural passes that drop tasks (with their
+  messages and mapping options), messages, surplus mapping options and
+  objectives, clear the latency bound, and shrink numeric fields
+  (sizes, WCETs, energies, costs) toward 1.
+
+Predicates must treat *invalid* candidates (parse errors the oracle
+skips, inconsistent specifications) as non-failing; the shrinker
+guards against ``SpecificationError`` itself.
+
+Every step is deterministic, so a shrunken reproducer replays
+identically on every run.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import replace
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.fuzz.generators import SpecInput
+from repro.synthesis.model import (
+    Application,
+    Specification,
+    SpecificationError,
+)
+
+__all__ = ["ddmin", "shrink_program", "shrink_spec"]
+
+T = TypeVar("T")
+
+#: Hard cap on predicate evaluations per shrink (the fuzz harness calls
+#: the full oracle for every candidate, which can be expensive).
+DEFAULT_BUDGET = 400
+
+
+class _Budget:
+    def __init__(self, limit: int):
+        self.remaining = limit
+
+    def spend(self) -> bool:
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        return True
+
+
+def ddmin(
+    items: Sequence[T],
+    fails: Callable[[List[T]], bool],
+    budget: Optional[_Budget] = None,
+) -> List[T]:
+    """Zeller's ddmin: a minimal failing sublist of ``items``.
+
+    ``fails`` must return True for ``items`` itself; the result is
+    1-minimal up to the evaluation budget (removing any single element
+    no longer fails).
+    """
+    budget = budget or _Budget(DEFAULT_BUDGET)
+    current = list(items)
+    chunks = 2
+    while len(current) >= 2:
+        size = max(1, len(current) // chunks)
+        reduced = False
+        start = 0
+        while start < len(current):
+            candidate = current[:start] + current[start + size :]
+            if candidate and budget.spend() and fails(candidate):
+                current = candidate
+                chunks = max(chunks - 1, 2)
+                reduced = True
+                start = 0
+                size = max(1, len(current) // chunks)
+                continue
+            start += size
+        if not reduced:
+            if chunks >= len(current):
+                break
+            chunks = min(len(current), chunks * 2)
+        if budget.remaining <= 0:
+            break
+    return current
+
+
+_INTEGER = re.compile(r"(?<![\w.])(\d+)")
+
+
+def _shrink_integers(
+    text: str, fails: Callable[[str], bool], budget: _Budget
+) -> str:
+    """Replace each integer literal with smaller values while failing."""
+    changed = True
+    while changed and budget.remaining > 0:
+        changed = False
+        for match in list(_INTEGER.finditer(text)):
+            value = int(match.group(1))
+            for smaller in (0, 1, value // 2):
+                if smaller >= value:
+                    continue
+                candidate = (
+                    text[: match.start(1)] + str(smaller) + text[match.end(1) :]
+                )
+                if budget.spend() and fails(candidate):
+                    text = candidate
+                    changed = True
+                    break
+            if changed:
+                break
+    return text
+
+
+def shrink_program(
+    text: str,
+    fails: Callable[[str], bool],
+    max_checks: int = DEFAULT_BUDGET,
+) -> str:
+    """A minimised program that still satisfies ``fails``."""
+    if not fails(text):
+        raise ValueError("the initial program does not fail")
+    budget = _Budget(max_checks)
+    lines = [line for line in text.splitlines() if line.strip()]
+    kept = ddmin(lines, lambda ls: fails("\n".join(ls)), budget)
+    shrunk = "\n".join(kept)
+    return _shrink_integers(shrunk, fails, budget)
+
+
+# ---------------------------------------------------------------------------
+# Specification shrinking
+# ---------------------------------------------------------------------------
+
+
+def _without_task(spec: Specification, name: str) -> Specification:
+    tasks = tuple(t for t in spec.application.tasks if t.name != name)
+    messages = tuple(
+        m
+        for m in spec.application.messages
+        if m.source != name and name not in m.targets
+    )
+    mappings = tuple(o for o in spec.mappings if o.task != name)
+    return Specification(
+        Application(tasks, messages), spec.architecture, mappings
+    )
+
+
+def _without_message(spec: Specification, name: str) -> Specification:
+    messages = tuple(m for m in spec.application.messages if m.name != name)
+    return Specification(
+        Application(spec.application.tasks, messages),
+        spec.architecture,
+        spec.mappings,
+    )
+
+
+def _without_option(spec: Specification, index: int) -> Specification:
+    mappings = spec.mappings[:index] + spec.mappings[index + 1 :]
+    return Specification(spec.application, spec.architecture, mappings)
+
+
+def _candidate_fails(
+    candidate: SpecInput, fails: Callable[[SpecInput], bool]
+) -> bool:
+    try:
+        return fails(candidate)
+    except SpecificationError:
+        return False
+
+
+def shrink_spec(
+    input: SpecInput,
+    fails: Callable[[SpecInput], bool],
+    max_checks: int = DEFAULT_BUDGET,
+) -> SpecInput:
+    """A minimised specification input that still satisfies ``fails``."""
+    if not fails(input):
+        raise ValueError("the initial spec input does not fail")
+    budget = _Budget(max_checks)
+    current = input
+
+    def attempt(candidate: SpecInput) -> bool:
+        if not budget.spend():
+            return False
+        return _candidate_fails(candidate, fails)
+
+    progress = True
+    while progress and budget.remaining > 0:
+        progress = False
+        # Drop whole tasks (with their messages and mapping options).
+        for task in list(current.specification.application.tasks):
+            if len(current.specification.application.tasks) <= 1:
+                break
+            candidate = replace(
+                current,
+                specification=_without_task(current.specification, task.name),
+            )
+            if attempt(candidate):
+                current = candidate
+                progress = True
+        # Drop messages.
+        for message in list(current.specification.application.messages):
+            candidate = replace(
+                current,
+                specification=_without_message(
+                    current.specification, message.name
+                ),
+            )
+            if attempt(candidate):
+                current = candidate
+                progress = True
+        # Drop surplus mapping options (keeping at least one per task).
+        index = 0
+        while index < len(current.specification.mappings):
+            option = current.specification.mappings[index]
+            remaining = sum(
+                1
+                for o in current.specification.mappings
+                if o.task == option.task
+            )
+            if remaining > 1:
+                candidate = replace(
+                    current,
+                    specification=_without_option(
+                        current.specification, index
+                    ),
+                )
+                if attempt(candidate):
+                    current = candidate
+                    progress = True
+                    continue
+            index += 1
+        # Drop objectives (a front over fewer axes is simpler to read).
+        while len(current.objectives) > 1:
+            dropped = False
+            for objective in current.objectives:
+                remaining = tuple(
+                    o for o in current.objectives if o != objective
+                )
+                candidate = replace(current, objectives=remaining)
+                if attempt(candidate):
+                    current = candidate
+                    progress = dropped = True
+                    break
+            if not dropped:
+                break
+        # Clear the latency bound.
+        if current.latency_bound is not None:
+            candidate = replace(current, latency_bound=None)
+            if attempt(candidate):
+                current = candidate
+                progress = True
+        # Shrink numeric fields toward 1.
+        current, shrunk = _shrink_spec_numbers(current, attempt)
+        progress = progress or shrunk
+    return current
+
+
+def _shrink_spec_numbers(
+    current: SpecInput, attempt: Callable[[SpecInput], bool]
+):
+    """One pass of pushing wcet/energy/size/cost values toward 1."""
+    progress = False
+    spec = current.specification
+    for index, option in enumerate(spec.mappings):
+        for field_name in ("wcet", "energy"):
+            value = getattr(option, field_name)
+            target = 1 if field_name == "wcet" else 0
+            if value <= target:
+                continue
+            mappings = (
+                spec.mappings[:index]
+                + (replace(option, **{field_name: target}),)
+                + spec.mappings[index + 1 :]
+            )
+            candidate = replace(
+                current,
+                specification=Specification(
+                    spec.application, spec.architecture, mappings
+                ),
+            )
+            if attempt(candidate):
+                current = candidate
+                spec = current.specification
+                progress = True
+    for index, message in enumerate(spec.application.messages):
+        if message.size <= 1:
+            continue
+        messages = (
+            spec.application.messages[:index]
+            + (replace(message, size=1),)
+            + spec.application.messages[index + 1 :]
+        )
+        candidate = replace(
+            current,
+            specification=Specification(
+                Application(spec.application.tasks, messages),
+                spec.architecture,
+                spec.mappings,
+            ),
+        )
+        if attempt(candidate):
+            current = candidate
+            spec = current.specification
+            progress = True
+    return current, progress

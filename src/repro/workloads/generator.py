@@ -45,6 +45,50 @@ class WorkloadConfig:
     message_probability: float = 0.5
     max_message_size: int = 3
 
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject degenerate configurations with a clear error.
+
+        Without this, a zero-task or zero-size config silently produces
+        a specification the DSE cannot do anything meaningful with (and
+        the fuzzer would flag as a finding).
+        """
+        if self.tasks < 1:
+            raise ValueError(
+                f"config needs at least one task, got tasks={self.tasks}"
+            )
+        if self.platform not in ("mesh", "bus", "ring"):
+            raise ValueError(
+                f"unknown platform {self.platform!r}; have mesh, bus, ring"
+            )
+        if self.platform == "mesh":
+            cols, rows = self.platform_size
+            if cols < 1 or rows < 1:
+                raise ValueError(
+                    f"mesh needs positive COLSxROWS, got {cols}x{rows}"
+                )
+        elif self.platform_size[0] < 1:
+            raise ValueError(
+                f"{self.platform} needs at least one processing element, "
+                f"got {self.platform_size[0]}"
+            )
+        lo, hi = self.options_per_task
+        if not 1 <= lo <= hi:
+            raise ValueError(
+                f"options_per_task must satisfy 1 <= lo <= hi, got ({lo}, {hi})"
+            )
+        if not 0.0 <= self.message_probability <= 1.0:
+            raise ValueError(
+                "message_probability must lie in [0, 1], got "
+                f"{self.message_probability}"
+            )
+        if self.max_message_size < 1:
+            raise ValueError(
+                f"max_message_size must be positive, got {self.max_message_size}"
+            )
+
     def name(self) -> str:
         if self.platform == "mesh":
             size = f"{self.platform_size[0]}x{self.platform_size[1]}"
@@ -122,7 +166,13 @@ def _build_platform(config: WorkloadConfig) -> Architecture:
 
 
 def generate_specification(config: WorkloadConfig) -> Specification:
-    """A full synthesis instance from ``config`` (deterministic)."""
+    """A full synthesis instance from ``config`` (deterministic).
+
+    Raises :class:`ValueError` for degenerate configurations (zero
+    tasks or resources, empty option ranges) instead of emitting a
+    specification no explorer can use.
+    """
+    config.validate()
     application = generate_application(
         config.tasks,
         config.seed,

@@ -11,6 +11,7 @@ from repro.baselines import (
 from repro.dse.pareto import weakly_dominates
 from repro.synthesis.encoding import encode
 from repro.workloads import WorkloadConfig, generate_specification, suite
+from repro.workloads.curated import CURATED_NAMES, curated
 
 
 @pytest.fixture(scope="module")
@@ -77,6 +78,32 @@ class TestEpsilonConstraint:
         _name, _spec, instance = tiny_instances[1]
         result = epsilon_constraint_front(instance, max_solves=1)
         assert result.interrupted or result.exact  # tiny may finish in 1
+
+
+class TestCuratedEquivalence:
+    """Exhaustive vs solution-level fronts on *all* curated workloads.
+
+    The two baselines reach the front through independent machinery
+    (enumerate-then-filter vs incremental ASPmT with total-assignment
+    dominance), so identical fronts on every curated instance is a
+    strong end-to-end exactness check.  network_firewall's free-routing
+    space is too large to enumerate in a unit test, so it runs with
+    deterministic routing and a hard deadline — a design-constrained
+    but still multi-point design space (front of 4).
+    """
+
+    ENCODE_OPTIONS = {
+        "network_firewall": {"routing": "fixed", "latency_bound": 33},
+    }
+
+    @pytest.mark.parametrize("name", CURATED_NAMES)
+    def test_exhaustive_matches_solution_level(self, name):
+        instance = encode(curated(name), **self.ENCODE_OPTIONS.get(name, {}))
+        truth = exhaustive_front(instance)
+        result = solution_level_front(instance)
+        assert truth.exact and result.exact, name
+        assert truth.vectors() == result.vectors(), name
+        assert truth.front, name  # a trivially-empty front proves nothing
 
 
 class TestNsga2:

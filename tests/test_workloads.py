@@ -71,6 +71,43 @@ class TestSpecificationGenerator:
             generate_specification(WorkloadConfig(platform="torus"))
 
 
+class TestConfigValidation:
+    """WorkloadConfig rejects degenerate inputs with a clear message."""
+
+    def test_zero_tasks(self):
+        with pytest.raises(ValueError, match="at least one task"):
+            WorkloadConfig(tasks=0)
+
+    def test_negative_tasks(self):
+        with pytest.raises(ValueError, match="at least one task"):
+            WorkloadConfig(tasks=-3)
+
+    def test_zero_resources_mesh(self):
+        with pytest.raises(ValueError, match="mesh needs positive"):
+            WorkloadConfig(platform="mesh", platform_size=(0, 2))
+
+    def test_zero_resources_bus(self):
+        with pytest.raises(ValueError, match="at least one processing"):
+            WorkloadConfig(platform="bus", platform_size=(0, 0))
+
+    def test_bad_options_range(self):
+        with pytest.raises(ValueError, match="options_per_task"):
+            WorkloadConfig(options_per_task=(0, 2))
+        with pytest.raises(ValueError, match="options_per_task"):
+            WorkloadConfig(options_per_task=(3, 2))
+
+    def test_bad_message_probability(self):
+        with pytest.raises(ValueError, match="message_probability"):
+            WorkloadConfig(message_probability=1.5)
+
+    def test_bad_message_size(self):
+        with pytest.raises(ValueError, match="max_message_size"):
+            WorkloadConfig(max_message_size=0)
+
+    def test_valid_config_passes(self):
+        WorkloadConfig(tasks=1, platform="ring", platform_size=(2, 0)).validate()
+
+
 class TestSuites:
     def test_known_suites(self):
         assert {"tiny", "small", "medium", "large", "bus"} <= set(SUITES)
