@@ -1,0 +1,188 @@
+"""Solver-core benchmark: flat arena vs. reference objects.
+
+Two workloads, both with a built-in equivalence check:
+
+* **Raw enumeration** — the largest curated instance
+  (network_firewall) is ground once, translated into each core, and
+  ``MODEL_CAP`` answer sets are enumerated with blocking clauses.  No
+  theory propagators and no dominance constraints run, so this isolates
+  the CDNL hot path (propagate / analyze / backtrack).  The two cores
+  take bit-identical trajectories here — same decision and conflict
+  counts, propagations equal up to a handful of pre-conflict enqueues —
+  which makes conflicts/sec and propagations/sec directly comparable.
+  Wall time is the best of ``REPEATS`` runs.
+* **End-to-end** — ``python -m repro.dse``'s exact explorer over every
+  curated workload in both cores, asserting the Pareto fronts are
+  bit-identical (sequentially and with ``jobs=2``).
+
+The ISSUE targeted >= 3x conflicts/sec; that assumed C-like
+cache-locality wins which CPython does not deliver — both cores are
+interpreter-dispatch-bound, and the reference solver is already a
+competent pure-Python CDCL.  Measured reality on this machine: ~1.2x
+boolean-propagation throughput on raw enumeration and 1.2–1.9x
+end-to-end on the curated suite (see docs/SOLVER.md for the analysis).
+The assertions below encode defensible floors: the flat core must not
+lose to the reference on boolean-propagation time on the largest
+instance, and every front must match exactly.  Numbers land in
+``BENCH_solver.json`` next to the repository root.
+"""
+
+import json
+from pathlib import Path
+from time import perf_counter
+
+from repro.asp.completion import translate
+from repro.asp.control import ground_text
+from repro.asp.flatsolver import FlatSolver
+from repro.asp.solver import Solver
+from repro.dse.explorer import ExactParetoExplorer
+from repro.dse.parallel import ParallelParetoExplorer
+from repro.synthesis.encoding import encode
+from repro.workloads.curated import CURATED_NAMES, curated
+
+REPEATS = 3
+END_TO_END_REPEATS = 2
+LARGEST = "network_firewall"
+MODEL_CAP = 2000
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_solver.json"
+
+CORES = {"reference": Solver, "flat": FlatSolver}
+
+
+def _enumerate_raw(solver_cls, program, cap):
+    """Enumerate up to ``cap`` models of ``program`` with blocking clauses."""
+    solver = solver_cls()
+    translate(program, solver)
+    models = 0
+    started = perf_counter()
+    while models < cap and solver.solve().satisfiable:
+        models += 1
+        blocking = [-lit for lit in solver.model()]
+        solver.reset_to_root()
+        if not blocking or not solver.add_clause(blocking):
+            break
+    wall = perf_counter() - started
+    return wall, models, solver.stats
+
+
+def _raw_enumeration_row():
+    program = ground_text(encode(curated(LARGEST)).program)
+    row = {"instance": LARGEST, "model_cap": MODEL_CAP}
+    outcomes = {}
+    for core, solver_cls in CORES.items():
+        best_wall, best_stats, models = None, None, None
+        for _ in range(REPEATS):
+            wall, count, stats = _enumerate_raw(solver_cls, program, MODEL_CAP)
+            if best_wall is None or wall < best_wall:
+                best_wall, best_stats, models = wall, stats, count
+        outcomes[core] = (models, best_stats.conflicts, best_stats.decisions)
+        row[core] = {
+            "models": models,
+            "conflicts": best_stats.conflicts,
+            "propagations": best_stats.propagations,
+            "restarts": best_stats.restarts,
+            "clause_db_bytes": best_stats.clause_db_bytes,
+            "wall_seconds": round(best_wall, 6),
+            "boolean_seconds": round(best_stats.time_boolean, 6),
+            "conflicts_per_second": round(best_stats.conflicts / best_wall, 1),
+            "propagations_per_second": round(
+                best_stats.propagations / best_wall, 1
+            ),
+        }
+    # With no theory propagation in the loop the trajectories are
+    # bit-identical at every decision and conflict, so those counters
+    # must agree exactly.  Propagation counts may differ by a handful:
+    # the flat core drains binary implications before long clauses, so
+    # it can enqueue a few extra literals in the instant before a
+    # conflict is detected.
+    assert outcomes["reference"] == outcomes["flat"], (
+        f"raw enumeration trajectories diverged: {outcomes}"
+    )
+    drift = abs(
+        row["reference"]["propagations"] - row["flat"]["propagations"]
+    )
+    assert drift <= outcomes["flat"][1], (
+        f"propagation counts drifted by {drift} (conflicts: "
+        f"{outcomes['flat'][1]})"
+    )
+    row["speedup_wall"] = round(
+        row["reference"]["wall_seconds"] / row["flat"]["wall_seconds"], 3
+    )
+    row["speedup_boolean"] = round(
+        row["reference"]["boolean_seconds"] / row["flat"]["boolean_seconds"], 3
+    )
+    return row
+
+
+def _explore(name, core):
+    started = perf_counter()
+    result = ExactParetoExplorer(encode(curated(name)), solver_core=core).run()
+    return perf_counter() - started, result
+
+
+def _end_to_end_rows():
+    rows = []
+    for name in CURATED_NAMES:
+        row = {"instance": name}
+        fronts = {}
+        for core in CORES:
+            best_wall, result = None, None
+            for _ in range(END_TO_END_REPEATS):
+                wall, outcome = _explore(name, core)
+                if best_wall is None or wall < best_wall:
+                    best_wall, result = wall, outcome
+            fronts[core] = [point.vector for point in result.front]
+            stats = result.statistics
+            assert stats.solver_core == core
+            row[core] = {
+                "wall_seconds": round(best_wall, 6),
+                "conflicts": stats.conflicts,
+                "propagations": stats.propagations,
+                "restarts": stats.restarts,
+                "clause_db_bytes": stats.clause_db_bytes,
+                "models_enumerated": stats.models_enumerated,
+            }
+        assert fronts["reference"] == fronts["flat"], (
+            f"{name}: sequential Pareto fronts differ between cores"
+        )
+        parallel_fronts = {}
+        for core in CORES:
+            result = ParallelParetoExplorer(
+                encode(curated(name)), jobs=2, backend="inline",
+                solver_core=core,
+            ).run()
+            parallel_fronts[core] = sorted(
+                point.vector for point in result.front
+            )
+        assert parallel_fronts["reference"] == parallel_fronts["flat"], (
+            f"{name}: jobs=2 Pareto fronts differ between cores"
+        )
+        row["front_points"] = len(fronts["flat"])
+        row["speedup_wall"] = round(
+            row["reference"]["wall_seconds"] / row["flat"]["wall_seconds"], 3
+        )
+        rows.append(row)
+    return rows
+
+
+def run_solver_comparison():
+    return {
+        "raw_enumeration": _raw_enumeration_row(),
+        "end_to_end": _end_to_end_rows(),
+    }
+
+
+def test_solver_core_speedup(benchmark):
+    report = benchmark.pedantic(run_solver_comparison, rounds=1, iterations=1)
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+
+    raw = report["raw_enumeration"]
+    assert raw["flat"]["conflicts"] > 0
+    assert raw["speedup_boolean"] >= 1.0, (
+        f"flat core lost on boolean propagation: {raw['speedup_boolean']}x"
+    )
+    assert {row["instance"] for row in report["end_to_end"]} == set(
+        CURATED_NAMES
+    )
+    benchmark.extra_info["raw_enumeration"] = raw
+    benchmark.extra_info["end_to_end"] = report["end_to_end"]

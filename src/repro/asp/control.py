@@ -19,6 +19,7 @@ functionally determined and need no blocking).
 
 from __future__ import annotations
 
+import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
@@ -181,7 +182,20 @@ class SolveSummary:
 class Control:
     """Grounder + translator + solver with theory propagators."""
 
-    def __init__(self) -> None:
+    def __init__(self, solver_core: Optional[str] = None) -> None:
+        if solver_core is None:
+            solver_core = os.environ.get("REPRO_SOLVER_CORE", "flat")
+        if solver_core not in ("flat", "reference"):
+            raise ValueError(
+                f"unknown solver core {solver_core!r} "
+                f"(expected 'flat' or 'reference')"
+            )
+        #: Which CDNL engine backs this Control: ``"flat"`` (the
+        #: array-based core, default) or ``"reference"`` (the object
+        #: core, kept as a differential oracle — same pattern as the
+        #: grounder's ``mode="naive"``).  Overridable per process with
+        #: the ``REPRO_SOLVER_CORE`` environment variable.
+        self.solver_core = solver_core
         self._parts: List[str] = []
         self._propagators: List[TheoryPropagator] = []
         self._solver: Optional[Solver] = None
@@ -261,7 +275,12 @@ class Control:
         self._shows = program.shows
         self._external_signatures = set(program.externals)
         self._ground_program = program
-        solver = Solver()
+        if self.solver_core == "flat":
+            from repro.asp.flatsolver import FlatSolver
+
+            solver = FlatSolver()
+        else:
+            solver = Solver()
         self._translation = translate(self._ground_program, solver)
         self._solver = solver
         if not self._ground_program.is_tight:

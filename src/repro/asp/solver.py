@@ -98,6 +98,12 @@ class SolverStatistics:
     time_boolean: float = 0.0
     #: Wall seconds spent inside propagator callbacks (theory fixpoints).
     time_theory: float = 0.0
+    #: Bytes held by the clause store at the end of the last solve call
+    #: (the arena size for the flat core; an arena-equivalent estimate
+    #: for the reference core, so the two are directly comparable).
+    clause_db_bytes: int = 0
+    #: Which engine produced these statistics ("reference" or "flat").
+    core: str = "reference"
 
 
 def _luby(i: int) -> int:
@@ -161,6 +167,9 @@ class Solver:
 
         self._seen: List[bool] = [False]
         self._order_heap: List[Tuple[float, int]] = []
+        # Arena-equivalent int slots held by _clauses + _learned, kept
+        # incrementally for clause_db_bytes().
+        self._db_ints = 0
 
     # ------------------------------------------------------------------
     # Variables and clauses
@@ -246,6 +255,7 @@ class Solver:
             return True
         clause = Clause(out)
         self._clauses.append(clause)
+        self._db_ints += len(out) + 1
         self._attach(clause)
         return True
 
@@ -324,6 +334,7 @@ class Solver:
             self._enqueue(lit, clause)
             return True
         self._learned.append(clause)
+        self._db_ints += len(lits) + 1
         self._attach(clause)
         first, second = lits[0], lits[1]
         value_first = self.value(first)
@@ -468,6 +479,11 @@ class Solver:
             self._values[var] = 0
             self._reasons[var] = None
             heapq.heappush(self._order_heap, (-self._activity[var], var))
+        if len(self._order_heap) > 2 * self._nvars + 16:
+            # Lazy deletion leaves stale (activity, var) tuples behind;
+            # long enumeration runs (many solve/backtrack cycles) would
+            # otherwise grow the heap without bound.  Compact it.
+            self._rescale_heap()
         del self._trail[limit:]
         del self._trail_lim[level:]
         self._qhead = min(self._qhead, len(self._trail))
@@ -489,6 +505,9 @@ class Solver:
             for v in range(1, self._nvars + 1):
                 self._activity[v] *= 1e-100
             self._var_inc *= 1e-100
+            # Heap entries hold pre-rescale keys; rebuild so decision
+            # order keeps following the (rescaled) activities.
+            self._rescale_heap()
 
     def _bump_clause(self, clause: Clause) -> None:
         clause.activity += self._cla_inc
@@ -632,6 +651,7 @@ class Solver:
         for i, clause in enumerate(self._learned):
             if removed < target and len(clause.lits) > 2 and not self._locked(clause):
                 self._detach(clause)
+                self._db_ints -= len(clause.lits) + 1
                 removed += 1
             else:
                 kept.append(clause)
@@ -649,6 +669,13 @@ class Solver:
     # Main search
     # ------------------------------------------------------------------
 
+    def clause_db_bytes(self) -> int:
+        """Arena-equivalent clause store size in bytes: one 4-byte int
+        per literal plus a 4-byte header per clause, mirroring what the
+        flat core's arena would occupy (tracked incrementally so the
+        per-solve statistics update is O(1))."""
+        return 4 * self._db_ints
+
     def solve(self, assumptions: Sequence[int] = ()) -> SolveResult:
         """Search for a model extending ``assumptions``.
 
@@ -656,6 +683,12 @@ class Solver:
         :meth:`value` until the next ``solve``/``add_clause`` call; the
         caller typically records the model and adds a blocking clause.
         """
+        try:
+            return self._solve(assumptions)
+        finally:
+            self.stats.clause_db_bytes = self.clause_db_bytes()
+
+    def _solve(self, assumptions: Sequence[int] = ()) -> SolveResult:
         self.interrupted = False
         if self._unsat:
             return SolveResult(False)
@@ -712,6 +745,7 @@ class Solver:
                 else:
                     clause = Clause(learned, learned=True)
                     self._learned.append(clause)
+                    self._db_ints += len(learned) + 1
                     self.stats.learned += 1
                     self._attach(clause)
                     self._enqueue(learned[0], clause)

@@ -48,6 +48,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     options.add_argument("--epsilon", type=int, default=0, help="approximation factor")
     options.add_argument("--archive", choices=("list", "quadtree"), default="list")
+    options.add_argument(
+        "--solver-core",
+        choices=("flat", "reference"),
+        default=None,
+        help="CDNL engine: flat array core (default) or the reference "
+        "object core (differential oracle; see docs/SOLVER.md)",
+    )
     options.add_argument("--budget", type=int, default=None, help="conflict limit")
     options.add_argument(
         "--latency-bound", type=int, default=None, help="hard deadline"
@@ -180,6 +187,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             archive=args.archive,
             epsilon=args.epsilon,
             objective_phases=args.heuristics,
+            solver_core=args.solver_core,
         )
     else:
         explorer = ExactParetoExplorer(
@@ -189,6 +197,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             conflict_limit=args.budget,
             objective_phases=args.heuristics,
             fixed_bindings=pins,
+            solver_core=args.solver_core,
         )
     result = explorer.run()
     stats = result.statistics
@@ -221,6 +230,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"grounding: {stats.grounds} ground(s), {stats.grounding_seconds:.3f}s, "
         f"{stats.instantiations} instantiations, {stats.delta_rounds} delta rounds"
         + (", cache hit" if stats.ground_cache_hit else "")
+    )
+    print(
+        f"solver: {stats.solver_core or 'flat'} core, "
+        f"{stats.propagations} propagations, {stats.restarts} restarts, "
+        f"{stats.clause_db_bytes} clause db bytes"
     )
     if lint_report is not None:
         print(

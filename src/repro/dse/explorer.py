@@ -288,6 +288,15 @@ class DseStatistics:
     pruned_total: int = 0
     conflicts: int = 0
     decisions: int = 0
+    #: Unit-propagation assignments made by the solver core.
+    propagations: int = 0
+    #: Luby restarts performed by the solver core.
+    restarts: int = 0
+    #: Clause store footprint at the end of the run (arena bytes for the
+    #: flat core; an arena-equivalent estimate for the reference core).
+    clause_db_bytes: int = 0
+    #: Which CDNL engine ran the search ("flat" or "reference").
+    solver_core: str = ""
     archive_comparisons: int = 0
     wall_time: float = 0.0
     interrupted: bool = False
@@ -359,6 +368,10 @@ class DseResult:
                 "pruned_total": self.statistics.pruned_total,
                 "conflicts": self.statistics.conflicts,
                 "decisions": self.statistics.decisions,
+                "propagations": self.statistics.propagations,
+                "restarts": self.statistics.restarts,
+                "clause_db_bytes": self.statistics.clause_db_bytes,
+                "solver_core": self.statistics.solver_core,
                 "archive_comparisons": self.statistics.archive_comparisons,
                 "wall_time": self.statistics.wall_time,
                 "interrupted": self.statistics.interrupted,
@@ -404,6 +417,7 @@ class ExactParetoExplorer:
         ground_program=None,
         ground_cache: bool = True,
         lint: object = False,
+        solver_core: Optional[str] = None,
     ):
         """Configure the explorer.
 
@@ -427,6 +441,11 @@ class ExactParetoExplorer:
         grounding (diagnostics surface as Python warnings and in the
         ``lint_*`` statistics), ``"raise"`` aborts on error-severity
         findings.
+
+        ``solver_core`` selects the CDNL engine: ``"flat"`` (array-based
+        core, the default) or ``"reference"`` (object core, the
+        differential oracle); ``None`` defers to ``REPRO_SOLVER_CORE``.
+        Both cores enumerate the same exact front (see docs/SOLVER.md).
         """
         self.instance = instance
         self.epsilon = epsilon
@@ -442,7 +461,7 @@ class ExactParetoExplorer:
             archive_impl,
             partial_pruning=partial_pruning,
         )
-        self.control = Control()
+        self.control = Control(solver_core=solver_core)
         self.control.conflict_limit = conflict_limit
         self.control.add(instance.program)
         self.control.register_propagator(self.linear)
@@ -579,6 +598,10 @@ class ExactParetoExplorer:
         stats.models_enumerated = self.models_enumerated
         stats.conflicts = solver.stats.conflicts
         stats.decisions = solver.stats.decisions
+        stats.propagations = solver.stats.propagations
+        stats.restarts = solver.stats.restarts
+        stats.clause_db_bytes = solver.clause_db_bytes()
+        stats.solver_core = solver.stats.core
         stats.pruned_partial = self.dominance.pruned_partial
         stats.pruned_total = self.dominance.pruned_total
         stats.archive_comparisons = self.dominance.archive.comparisons

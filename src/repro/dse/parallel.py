@@ -227,6 +227,10 @@ class _CubeWorker:
                 "pareto_points_local": len(front),
                 "conflicts": stats.conflicts,
                 "decisions": stats.decisions,
+                "propagations": stats.propagations,
+                "restarts": stats.restarts,
+                "clause_db_bytes": stats.clause_db_bytes,
+                "solver_core": stats.solver_core,
                 "pruned_partial": stats.pruned_partial,
                 "pruned_total": stats.pruned_total,
                 "archive_comparisons": stats.archive_comparisons,
@@ -511,6 +515,10 @@ class ParallelParetoExplorer:
             stats.models_enumerated += inner["models_enumerated"]
             stats.conflicts += inner["conflicts"]
             stats.decisions += inner["decisions"]
+            stats.propagations += inner.get("propagations", 0)
+            stats.restarts += inner.get("restarts", 0)
+            stats.clause_db_bytes += inner.get("clause_db_bytes", 0)
+            stats.solver_core = inner.get("solver_core", stats.solver_core)
             stats.pruned_partial += inner["pruned_partial"]
             stats.pruned_total += inner["pruned_total"]
             stats.archive_comparisons += inner["archive_comparisons"]

@@ -183,7 +183,8 @@ class FuzzHarness:
         """Run ``input`` through every kind-compatible active oracle."""
         findings: List[Finding] = []
         for oracle in self.oracles:
-            if oracle.kind != input.kind:
+            # kind="any" oracles take both program and spec inputs.
+            if oracle.kind not in ("any", input.kind):
                 continue
             entry = None if stats is None else stats[oracle.name]
             started = time.perf_counter()

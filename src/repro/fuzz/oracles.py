@@ -20,6 +20,7 @@ oracle                input    compared paths
 ``front``             spec     exact explorer vs exhaustive vs parallel workers
 ``scale``             spec     objective scaling maps the front pointwise
 ``rename``            spec     task/resource renaming leaves the front invariant
+``solver-core``       any      flat vs reference CDNL core (models and fronts)
 ====================  =======  ==================================================
 """
 
@@ -76,7 +77,7 @@ class Oracle:
     """Base class: ``name``, input ``kind``, and a ``check`` method."""
 
     name = "oracle"
-    kind = "program"  # or "spec"
+    kind = "program"  # or "spec", or "any" (dispatches on input type)
 
     def check(self, input) -> None:
         raise NotImplementedError
@@ -108,9 +109,13 @@ def _ground_outcome(text: str, mode: str):
     )
 
 
-def _cdnl_models(text: str, program: Optional[GroundProgram] = None):
+def _cdnl_models(
+    text: str,
+    program: Optional[GroundProgram] = None,
+    solver_core: Optional[str] = None,
+):
     """Up to MODEL_CAP answer sets through the full CDNL pipeline."""
-    control = Control()
+    control = Control(solver_core=solver_core)
     if program is None:
         control.add(text)
         control.ground(cache=False)
@@ -283,7 +288,9 @@ class ReorderOracle(Oracle):
 
 
 def _front_vectors(
-    spec_input: SpecInput, specification: Optional[Specification] = None
+    spec_input: SpecInput,
+    specification: Optional[Specification] = None,
+    solver_core: Optional[str] = None,
 ) -> List[Tuple[int, ...]]:
     """The exact front of the instance, via the reference explorer."""
     instance = encode(
@@ -291,7 +298,9 @@ def _front_vectors(
         objectives=spec_input.objectives,
         latency_bound=spec_input.latency_bound,
     )
-    result = ExactParetoExplorer(instance, validate_models=False).run()
+    result = ExactParetoExplorer(
+        instance, validate_models=False, solver_core=solver_core
+    ).run()
     return result.vectors()
 
 
@@ -443,6 +452,59 @@ class RenameOracle(Oracle):
             )
 
 
+class SolverCoreOracle(Oracle):
+    """The flat and reference CDNL cores are interchangeable engines.
+
+    On programs both cores must enumerate the same stable-model set; on
+    specifications both must produce the same exact Pareto front.  This
+    is the solver-level twin of the ``grounding`` oracle (semi-naive vs
+    naive): the reference object solver is the executable specification
+    the flat array core (:mod:`repro.asp.flatsolver`) is held against.
+    """
+
+    name = "solver-core"
+    kind = "any"  # dispatches on the input type
+
+    def check(self, input) -> None:
+        if isinstance(input, SpecInput):
+            self._check_spec(input)
+        else:
+            self._check_program(input)
+
+    def _check_program(self, input: ProgramInput) -> None:
+        if input.has_theory:
+            raise Skip("theory atoms")  # needs registered propagators
+        try:
+            program = ground_text(input.text, cache=False)
+        except ParseError:
+            raise Skip("program does not parse")
+        except Exception:
+            raise Skip("program does not ground")
+        flat = _cdnl_models(input.text, program=program, solver_core="flat")
+        reference = _cdnl_models(
+            input.text, program=program, solver_core="reference"
+        )
+        if len(flat) >= MODEL_CAP or len(reference) >= MODEL_CAP:
+            raise Skip("model cap reached; comparison would be truncated")
+        if flat != reference:
+            only_flat = [sorted(m) for m in flat if m not in reference][:2]
+            only_ref = [sorted(m) for m in reference if m not in flat][:2]
+            self.diverge(
+                f"stable models differ between solver cores: flat found "
+                f"{len(flat)}, reference found {len(reference)} "
+                f"(flat-only {only_flat}, reference-only {only_ref})"
+            )
+
+    def _check_spec(self, input: SpecInput) -> None:
+        flat = _front_vectors(input, solver_core="flat")
+        reference = _front_vectors(input, solver_core="reference")
+        if flat != reference:
+            self.diverge(
+                f"Pareto front differs between solver cores: "
+                f"flat {flat} != reference {reference}"
+            )
+
+
 #: Registry, in documentation order.
 ORACLES: Dict[str, Oracle] = {
     oracle.name: oracle
@@ -455,6 +517,7 @@ ORACLES: Dict[str, Oracle] = {
         FrontOracle(),
         ScaleOracle(),
         RenameOracle(),
+        SolverCoreOracle(),
     )
 }
 

@@ -1,0 +1,262 @@
+"""Differential tests: the flat CDNL core against the reference core.
+
+The flat core (``repro.asp.flatsolver``) must be observably equivalent
+to the object-based reference solver: same model sets under
+enumeration, same SAT/UNSAT answers and unsatisfiable cores under
+assumptions, same Pareto fronts through the full DSE stack
+(sequentially and with ``jobs=2``).  Search *trajectories* may differ —
+the flat core propagates binary clauses first, so reason clauses and
+VSIDS bumps can diverge — but never the answers.  See docs/SOLVER.md.
+"""
+
+import random
+
+import pytest
+
+from repro.asp.control import Control
+from repro.asp.flatsolver import FlatSolver
+from repro.asp.solver import Solver
+from repro.dse.explorer import ExactParetoExplorer
+from repro.synthesis.encoding import encode
+from repro.workloads.curated import curated
+
+
+def random_clauses(rng, nvars, nclauses, max_width=4):
+    return [
+        [
+            rng.choice([1, -1]) * rng.randint(1, nvars)
+            for _ in range(rng.randint(1, max_width))
+        ]
+        for _ in range(nclauses)
+    ]
+
+
+def enumerate_models(solver_cls, nvars, clauses, **knobs):
+    solver = solver_cls()
+    for name, value in knobs.items():
+        setattr(solver, name, value)
+    for _ in range(nvars):
+        solver.new_var()
+    models = set()
+    for clause in clauses:
+        if not solver.add_clause(clause):
+            return models
+    while solver.solve().satisfiable:
+        model = tuple(sorted(solver.model()))
+        assert model not in models, "enumeration repeated a model"
+        models.add(model)
+        solver.reset_to_root()
+        if not solver.add_clause([-lit for lit in model]):
+            break
+    return models
+
+
+class TestModelEquivalence:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_same_model_sets(self, seed):
+        rng = random.Random(seed)
+        nvars = rng.randint(3, 11)
+        clauses = random_clauses(rng, nvars, rng.randint(2, 28))
+        reference = enumerate_models(Solver, nvars, clauses)
+        flat = enumerate_models(FlatSolver, nvars, clauses)
+        assert reference == flat
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_same_model_sets_under_db_reduction(self, seed):
+        """A tiny learned-clause budget forces _reduce_db + arena GC."""
+        rng = random.Random(1000 + seed)
+        nvars = rng.randint(6, 12)
+        clauses = random_clauses(rng, nvars, rng.randint(10, 35))
+        reference = enumerate_models(
+            Solver, nvars, clauses, max_learned_base=5
+        )
+        flat = enumerate_models(
+            FlatSolver, nvars, clauses, max_learned_base=5
+        )
+        assert reference == flat
+
+    def test_same_answers_without_restarts_or_phase_saving(self):
+        rng = random.Random(7)
+        nvars, clauses = 9, random_clauses(rng, 9, 24)
+        knobs = {"restart_base": None, "phase_saving": False}
+        assert enumerate_models(Solver, nvars, clauses, **knobs) == (
+            enumerate_models(FlatSolver, nvars, clauses, **knobs)
+        )
+
+
+class TestAssumptionEquivalence:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_same_verdicts_and_models(self, seed):
+        rng = random.Random(2000 + seed)
+        nvars = rng.randint(3, 10)
+        clauses = random_clauses(rng, nvars, rng.randint(2, 24), max_width=3)
+        assumptions = [
+            rng.choice([1, -1]) * var
+            for var in rng.sample(range(1, nvars + 1), k=min(3, nvars))
+        ]
+        outcomes = {}
+        for cls in (Solver, FlatSolver):
+            solver = cls()
+            for _ in range(nvars):
+                solver.new_var()
+            if not all(solver.add_clause(c) for c in clauses):
+                outcomes[cls] = "root-unsat"
+                continue
+            result = solver.solve(assumptions)
+            if result.satisfiable:
+                outcomes[cls] = tuple(sorted(solver.model()))
+            else:
+                # Cores may differ in order but must both be valid
+                # subsets of the assumptions that remain unsatisfiable.
+                assert set(result.core) <= set(assumptions)
+                check = cls()
+                for _ in range(nvars):
+                    check.new_var()
+                assert all(check.add_clause(c) for c in clauses)
+                assert not check.solve(list(result.core)).satisfiable
+                outcomes[cls] = "unsat"
+        assert outcomes[Solver] == outcomes[FlatSolver]
+
+
+class TestFlatInternals:
+    def test_bin_watch_refs_survive_arena_collection(self):
+        """Learned binary clauses live in the static implication lists;
+        arena compaction moves their records, so the refs must be
+        remapped (regression: they once went stale after _reduce_db)."""
+        rng = random.Random(99)
+        solver = FlatSolver()
+        solver.max_learned_base = 5
+        nvars = 12
+        for _ in range(nvars):
+            solver.new_var()
+        for clause in random_clauses(rng, nvars, 30):
+            if not solver.add_clause(clause):
+                break
+        for _ in range(40):
+            if not solver.solve().satisfiable:
+                break
+            model = solver.model()
+            solver.reset_to_root()
+            if not solver.add_clause([-lit for lit in model]):
+                break
+        arena = solver._arena
+        for code, watch_list in enumerate(solver._bin_watches):
+            for i in range(1, len(watch_list), 2):
+                ref = watch_list[i]
+                assert arena[ref] == 2, "bin watch ref points at a non-binary record"
+                lits = arena[ref + 1 : ref + 3]
+                assert watch_list[i - 1] in lits
+
+    def test_clause_db_bytes_matches_arena(self):
+        solver = FlatSolver()
+        for _ in range(4):
+            solver.new_var()
+        solver.add_clause([1, 2, 3])
+        solver.add_clause([-1, 4])
+        assert solver.clause_db_bytes() == 4 * len(solver._arena)
+        assert solver.stats.core == "flat"
+
+
+class TestOrderHeapBounded:
+    """Satellite regression: lazy-deletion heaps must be compacted.
+
+    Long enumeration runs perform thousands of assign/backtrack cycles;
+    without compaction the stale (activity, var) tuples grow the heap
+    without bound (the bug fixed in Solver._backtrack)."""
+
+    @pytest.mark.parametrize("cls,heap_attr", [
+        (Solver, "_order_heap"),
+        (FlatSolver, "_heap"),
+    ])
+    def test_heap_stays_bounded_over_many_cycles(self, cls, heap_attr):
+        rng = random.Random(5)
+        nvars = 20
+        solver = cls()
+        for _ in range(nvars):
+            solver.new_var()
+        for clause in random_clauses(rng, nvars, 30, max_width=3):
+            solver.add_clause(clause)
+        bound = 2 * nvars + 16
+        for cycle in range(300):
+            if not solver.solve().satisfiable:
+                break
+            model = solver.model()
+            solver.reset_to_root()
+            assert len(getattr(solver, heap_attr)) <= bound, (
+                f"heap grew unboundedly after {cycle} cycles"
+            )
+            if not solver.add_clause([-lit for lit in model]):
+                break
+        assert len(getattr(solver, heap_attr)) <= bound
+
+
+THEORY_PROGRAM = """
+{use(a); use(b)}.
+&dom { 1..4 } = w(a).
+&dom { 1..4 } = w(b).
+&sum { w(a) - w(b) } <= 1 :- use(a), use(b).
+:- not use(a), not use(b).
+"""
+
+
+class TestControlEquivalence:
+    def collect(self, core):
+        ctl = Control(solver_core=core)
+        from repro.theory import LinearPropagator
+
+        ctl.add(THEORY_PROGRAM)
+        ctl.register_propagator(LinearPropagator())
+        ctl.ground()
+        models = set()
+
+        def on_model(model):
+            atoms = tuple(sorted(str(a) for a in model.symbols))
+            ints = tuple(sorted((str(k), v) for k, v in model.theory["ints"].items()))
+            models.add((atoms, ints))
+
+        ctl.solve(on_model=on_model, models=0)
+        return models
+
+    def test_theory_models_match(self):
+        assert self.collect("reference") == self.collect("flat")
+
+    def test_invalid_core_rejected(self):
+        with pytest.raises(ValueError):
+            Control(solver_core="turbo")
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SOLVER_CORE", "reference")
+        assert Control().solver_core == "reference"
+        monkeypatch.delenv("REPRO_SOLVER_CORE")
+        assert Control().solver_core == "flat"
+
+
+class TestDseEquivalence:
+    @pytest.mark.parametrize("name", ["auto_engine", "telecom_modem"])
+    def test_curated_front_matches_sequentially(self, name):
+        fronts = {}
+        stats = {}
+        for core in ("reference", "flat"):
+            result = ExactParetoExplorer(
+                encode(curated(name)), solver_core=core
+            ).run()
+            fronts[core] = [point.vector for point in result.front]
+            stats[core] = result.statistics
+        assert fronts["reference"] == fronts["flat"]
+        assert stats["flat"].solver_core == "flat"
+        assert stats["reference"].solver_core == "reference"
+        assert stats["flat"].clause_db_bytes > 0
+
+    def test_curated_front_matches_with_two_jobs(self):
+        from repro.dse.parallel import ParallelParetoExplorer
+
+        fronts = {}
+        for core in ("reference", "flat"):
+            result = ParallelParetoExplorer(
+                encode(curated("auto_engine")),
+                jobs=2,
+                backend="inline",
+                solver_core=core,
+            ).run()
+            fronts[core] = [point.vector for point in result.front]
+        assert fronts["reference"] == fronts["flat"]
