@@ -29,6 +29,7 @@ from repro.dse.explorer import (
     ParetoPoint,
 )
 from repro.dse.parallel import ParallelParetoExplorer
+from repro.dse.scheduler import ArchiveDelta, CubeScheduler
 from repro.dse.pareto import (
     ListArchive,
     dominates,
@@ -39,6 +40,8 @@ from repro.dse.pareto import (
 from repro.dse.quadtree import QuadTreeArchive
 
 __all__ = [
+    "ArchiveDelta",
+    "CubeScheduler",
     "DominancePropagator",
     "DseResult",
     "DseStatistics",

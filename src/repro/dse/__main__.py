@@ -118,6 +118,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="process",
         help="parallel backend (inline = deterministic in-process)",
     )
+    par.add_argument(
+        "--schedule",
+        choices=("static", "stealing"),
+        default="stealing",
+        help="cube scheduler: fixed round-robin shares (static) or "
+        "elastic work-stealing with hypervolume-ordered queues (default)",
+    )
+    par.add_argument(
+        "--resplit-budget",
+        type=int,
+        default=None,
+        metavar="CONFLICTS",
+        help="conflicts a cube may burn before it is split one binding "
+        "level deeper (stealing scheduler; 0 disables re-splitting)",
+    )
+    par.add_argument(
+        "--steal-order",
+        choices=("busiest", "roundrobin", "reverse"),
+        default="busiest",
+        help="victim selection policy for work stealing",
+    )
     args = parser.parse_args(argv)
 
     if args.fuzz_replay is not None:
@@ -174,12 +195,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         pins[task] = resource
     if args.jobs > 1 or args.split_depth is not None:
         from repro.dse.parallel import DEFAULT_CHUNK_CONFLICTS, ParallelParetoExplorer
+        from repro.dse.scheduler import DEFAULT_RESPLIT_CONFLICTS
 
+        resplit = args.resplit_budget
+        if resplit is None:
+            resplit = DEFAULT_RESPLIT_CONFLICTS
         explorer = ParallelParetoExplorer(
             instance,
             jobs=max(args.jobs, 1),
             split_depth=args.split_depth,
             backend=args.backend,
+            schedule=args.schedule,
+            steal_order=args.steal_order,
+            resplit_conflicts=resplit or None,
             chunk_conflicts=args.chunk_conflicts or DEFAULT_CHUNK_CONFLICTS,
             share_archive=not args.no_share,
             conflict_limit=args.budget,
@@ -241,12 +269,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"lint: {stats.lint_errors} error(s), {stats.lint_warnings} "
             f"warning(s), {stats.lint_infos} info(s), {stats.lint_seconds:.3f}s"
         )
+    if stats.per_worker:
+        print(
+            f"scheduler: {args.schedule}, {stats.cubes_executed} cubes "
+            f"executed, {stats.steals} steals, {stats.resplits} resplits, "
+            f"{stats.archive_delta_bytes} delta bytes, "
+            f"{stats.archive_dedup_skips} dedup skips"
+        )
     for worker in stats.per_worker:
         print(
             f"  worker {worker['worker']}: {worker['cubes']} cubes, "
+            f"{worker.get('steals', 0)} steals, "
             f"{worker['models_enumerated']} models, "
             f"{worker['conflicts']} conflicts, "
             f"{worker['injected']} foreign points, "
+            f"{worker.get('delta_bytes', 0)} delta bytes, "
             f"{worker['wall_time']:.2f}s"
         )
     if args.output:

@@ -321,6 +321,18 @@ class DseStatistics:
     #: (parallel exploration sums the parent and all workers; with the
     #: shipped artifact this stays at 1).
     grounds: int = 0
+    #: Cubes stolen from other workers' deques (stealing scheduler).
+    steals: int = 0
+    #: Over-budget cubes split one binding level deeper and re-queued.
+    resplits: int = 0
+    #: Cubes actually executed across all workers (>= the initial cube
+    #: count when re-splitting fired; 0 for sequential runs).
+    cubes_executed: int = 0
+    #: Bytes of serialized archive deltas published by the workers.
+    archive_delta_bytes: int = 0
+    #: Foreign points skipped by the injection hash-dedup (points the
+    #: local archive had already seen; skipping avoids re-scanning).
+    archive_dedup_skips: int = 0
     #: Wall seconds spent in the static linter (0 when linting was off).
     lint_seconds: float = 0.0
     #: Diagnostic counts of the lint run (all zero when linting was off).
@@ -384,6 +396,11 @@ class DseResult:
                 "delta_rounds": self.statistics.delta_rounds,
                 "ground_cache_hit": self.statistics.ground_cache_hit,
                 "grounds": self.statistics.grounds,
+                "steals": self.statistics.steals,
+                "resplits": self.statistics.resplits,
+                "cubes_executed": self.statistics.cubes_executed,
+                "archive_delta_bytes": self.statistics.archive_delta_bytes,
+                "archive_dedup_skips": self.statistics.archive_dedup_skips,
                 "lint_seconds": self.statistics.lint_seconds,
                 "lint_errors": self.statistics.lint_errors,
                 "lint_warnings": self.statistics.lint_warnings,
@@ -477,6 +494,13 @@ class ExactParetoExplorer:
         self._ground = False
         self.models_enumerated = 0
         self._pending_point: Optional[ParetoPoint] = None
+        # Archive delta plumbing for the parallel workers: every locally
+        # enumerated point is buffered until drained, and every vector
+        # this explorer has ever seen (enumerated or injected) is hashed
+        # so foreign re-offers are skipped in O(1).
+        self._new_points: List[ParetoPoint] = []
+        self._known_vectors: set = set()
+        self.dedup_skips = 0
 
     def ground(self) -> None:
         """Ground the instance (idempotent; run() calls this lazily).
@@ -532,6 +556,8 @@ class ExactParetoExplorer:
             f"{vector} (archive: {self.dominance.archive.vectors()})"
         )
         self._pending_point = ParetoPoint(vector, implementation)
+        self._new_points.append(self._pending_point)
+        self._known_vectors.add(vector)
         self.control.solver.requeue_watch(
             self.control.translation.true_lit, self.dominance
         )
@@ -573,17 +599,57 @@ class ExactParetoExplorer:
         of accepted points.  Sound for subspace exploration: pruning by a
         point of the *global* front only removes candidates that are
         weakly dominated globally.
+
+        Vectors this explorer has already seen — enumerated locally or
+        injected earlier — are skipped by hash before touching the
+        archive (``dedup_skips`` counts them); re-offering such a point
+        could only ever be dropped as weakly dominated anyway.
         """
         self.ground()
         accepted = 0
         for vector, payload in points:
-            if self.dominance.archive.add(tuple(vector), payload):
+            vector = tuple(vector)
+            if vector in self._known_vectors:
+                self.dedup_skips += 1
+                continue
+            self._known_vectors.add(vector)
+            if self.dominance.archive.add(vector, payload):
                 accepted += 1
         if accepted:
             self.control.solver.requeue_watch(
                 self.control.translation.true_lit, self.dominance
             )
         return accepted
+
+    def drain_new_points(self) -> List[ParetoPoint]:
+        """Locally enumerated points since the last drain (delta batch).
+
+        The parallel workers publish these as an :class:`ArchiveDelta`
+        instead of re-offering their whole archive; injected foreign
+        points never enter the buffer, so deltas cannot echo.
+        """
+        drained = self._new_points
+        self._new_points = []
+        return drained
+
+    def local_front(self) -> List[Tuple[Tuple[int, ...], object]]:
+        """Archive restricted to locally enumerated survivors, sorted.
+
+        Foreign injections carry no witness implementation; each vector
+        of the global front is reported by the worker that enumerated it
+        (see the merge argument in ``docs/PARALLEL.md``).
+        """
+        return [
+            (vector, payload)
+            for vector, payload in self.front()
+            if payload is not None
+        ]
+
+    def conflict_mark(self) -> int:
+        """Cumulative conflict count — the budget hook for re-splitting."""
+        if self.control._solver is None:  # nothing solved yet
+            return 0
+        return self.control.solver.stats.conflicts
 
     def front(self) -> List[Tuple[Tuple[int, ...], object]]:
         """Current archive contents, sorted by vector."""
@@ -608,6 +674,7 @@ class ExactParetoExplorer:
         stats.time_boolean_propagation = solver.stats.time_boolean
         stats.time_theory_propagation = solver.stats.time_theory
         stats.time_dominance = self.dominance.prune_time
+        stats.archive_dedup_skips = self.dedup_skips
         stats.grounding_seconds = self.control.grounding_seconds
         stats.ground_cache_hit = self.control.ground_cache_hit
         stats.grounds = self.control.grounds

@@ -12,27 +12,41 @@ disjoint subspaces and explores them with cooperating workers:
    filtered for dominance (:func:`~repro.dse.pareto.non_dominated_union`),
    is the exact global front regardless of how cubes are distributed.
 
-2. **Workers** — each worker grounds its instance once and explores its
-   share of the cubes through assumption-based incremental solving;
-   learned clauses, dominance-pruning clauses, and the Pareto archive all
-   remain sound across cubes because they are consequences of the (cube
-   independent) program plus archive points.
+2. **Elastic scheduling** — cubes live in per-worker deques managed by
+   :class:`~repro.dse.scheduler.CubeScheduler`: idle workers steal from
+   the busiest deque, queues are ordered by estimated hypervolume
+   contribution against the current archive, and cubes that exceed a
+   conflict budget are split one binding level deeper and re-queued
+   (``schedule="stealing"``, the default).  ``schedule="static"``
+   restores the original fixed round-robin shares.
 
-3. **Shared archive** — workers publish every Pareto point they find;
-   foreign points are injected into the local
-   :class:`~repro.dse.explorer.DominancePropagator` archive between
-   solver calls.  Injection can only *prune*: a partial assignment is cut
-   exactly when an archive point weakly dominates its objective lower
-   bound, and archive points are objective vectors of feasible
+3. **Workers** — each worker reuses the parent's ground program and
+   explores the cubes it is handed through assumption-based incremental
+   solving; learned clauses, dominance-pruning clauses, and the Pareto
+   archive all remain sound across cubes because they are consequences
+   of the (cube independent) program plus archive points.
+
+4. **Archive deltas** — workers publish incremental batches of new
+   non-dominated points (:class:`~repro.dse.scheduler.ArchiveDelta`, a
+   compact struct-packed vector batch); foreign deltas are injected into
+   the local :class:`~repro.dse.explorer.DominancePropagator` archive
+   between solver calls, after an O(1) hash dedup of vectors the worker
+   has already seen.  Injection can only *prune*: a partial assignment
+   is cut exactly when an archive point weakly dominates its objective
+   lower bound, and archive points are objective vectors of feasible
    implementations, so anything pruned is weakly dominated globally and
-   cannot contribute a new front vector.  Because weak dominance includes
-   equality, a worker whose candidate ties a foreign vector skips a
-   duplicate, never a missing vector.  Solving is *chunked* by a per-call
-   conflict budget so workers deep in an UNSAT proof still synchronize.
+   cannot contribute a new front vector.  Because weak dominance
+   includes equality, a worker whose candidate ties a foreign vector
+   skips a duplicate, never a missing vector.  Solving is *chunked* by a
+   per-call conflict budget so workers deep in an UNSAT proof still
+   synchronize.
 
-Exactness therefore does not depend on scheduling: the merged front is
-bit-for-bit the sequential front for any worker count, split depth, or
-interleaving (property-tested in ``tests/test_parallel.py``).
+Exactness therefore does not depend on scheduling: stealing, priority
+reordering, re-splitting, and delta injection may only change *when*
+pruning happens, never *what* the merged front contains, so the merged
+front is bit-for-bit the sequential front for any worker count, split
+depth, steal order, re-split budget, or interleaving (property-tested in
+``tests/test_parallel.py``; exactness argument in ``docs/PARALLEL.md``).
 """
 
 from __future__ import annotations
@@ -52,6 +66,13 @@ from repro.dse.explorer import (
     ParetoPoint,
 )
 from repro.dse.pareto import non_dominated_union
+from repro.dse.scheduler import (
+    ArchiveDelta,
+    CubeScheduler,
+    DEFAULT_RESPLIT_CONFLICTS,
+    MAX_STEALING_CUBES,
+    TARGET_CUBE_FACTOR,
+)
 from repro.synthesis.encoding import EncodedInstance
 from repro.synthesis.model import Specification
 
@@ -64,6 +85,11 @@ __all__ = [
 
 #: Per-solver-call conflict budget between archive synchronization points.
 DEFAULT_CHUNK_CONFLICTS = 200
+
+#: Points buffered before a worker publishes an archive delta (deltas
+#: are also flushed at every chunk and cube boundary, so batching only
+#: defers publication by at most one solver call).
+DELTA_BATCH = 8
 
 
 def binding_choices(
@@ -87,24 +113,47 @@ def binding_choices(
 
 
 def auto_split_depth(
-    spec: Specification, jobs: int, fixed_bindings: Optional[Dict[str, str]] = None
+    spec: Specification,
+    jobs: int,
+    fixed_bindings: Optional[Dict[str, str]] = None,
+    schedule: str = "static",
 ) -> int:
-    """Smallest split depth yielding at least ``2 * jobs`` cubes.
+    """Split depth derived from the worker count and the scheduler.
 
-    The factor two over-partitions so that static distribution still
-    balances when cube hardness is uneven.  Capped at the number of
-    branching tasks.
+    ``schedule="static"`` keeps the original rule: the smallest depth
+    yielding at least ``2 * jobs`` cubes, a mild over-partition so fixed
+    round-robin shares still balance when cube hardness is uneven.
+
+    ``schedule="stealing"`` targets ``TARGET_CUBE_FACTOR * jobs`` cubes
+    instead: the deques must stay deep enough to steal from and to
+    re-order as archive deltas arrive, and fine cubes keep the critical
+    path short.  The count is capped at ``MAX_STEALING_CUBES`` — the
+    ground program is shared, but every cube still costs a dispatch
+    round-trip and an assumption-based solver restart, so past the cap
+    the scheduling overhead rivals what the shared grounding saved (a
+    cube over-running its budget is re-split adaptively anyway).
     """
+    if jobs <= 1 and schedule == "static":
+        return 0
+    choices = binding_choices(spec, fixed_bindings)
+    if schedule == "stealing":
+        target = TARGET_CUBE_FACTOR * max(jobs, 1)
+        cubes = 1
+        for depth, (_task, options) in enumerate(choices, start=1):
+            if cubes * len(options) > MAX_STEALING_CUBES:
+                return depth - 1
+            cubes *= len(options)
+            if cubes >= target:
+                return depth
+        return len(choices)
     if jobs <= 1:
         return 0
     cubes = 1
-    for depth, (_task, options) in enumerate(
-        binding_choices(spec, fixed_bindings), start=1
-    ):
+    for depth, (_task, options) in enumerate(choices, start=1):
         cubes *= len(options)
         if cubes >= 2 * jobs:
             return depth
-    return len(binding_choices(spec, fixed_bindings))
+    return len(choices)
 
 
 def derive_cubes(
@@ -133,26 +182,30 @@ def derive_cubes(
     return cubes
 
 
-class _CubeWorker:
-    """Explores a list of cubes with one incremental explorer.
+class _CubeRunner:
+    """One worker's incremental explorer, executing cubes one at a time.
 
-    The explorer grounds once; cubes are entered via solve assumptions,
-    so learned clauses and the dominance archive persist across cubes.
-    Solving is chunked by a per-call conflict budget
+    The explorer grounds once (or reuses the parent's shipped artifact);
+    cubes are entered via solve assumptions, so learned clauses and the
+    dominance archive persist across cubes — including stolen and
+    re-split ones.  Solving is chunked by a per-call conflict budget
     (``chunk_conflicts``) so the surrounding loop can inject foreign
-    points even while the solver is deep inside an UNSAT proof;
+    deltas even while the solver is deep inside an UNSAT proof;
     ``conflict_limit`` is the worker's *total* budget (the run reports
-    ``interrupted`` when it is hit).
+    ``interrupted`` when it is hit), and ``resplit_conflicts`` is the
+    per-cube budget after which a splittable cube is handed back to the
+    scheduler for re-splitting.
     """
 
     def __init__(
         self,
         instance: EncodedInstance,
-        cubes: Sequence[Dict[str, str]],
         explorer_options: Optional[Dict[str, object]] = None,
         chunk_conflicts: Optional[int] = DEFAULT_CHUNK_CONFLICTS,
         conflict_limit: Optional[int] = None,
         ground_program: Optional[GroundProgram] = None,
+        resplit_conflicts: Optional[int] = None,
+        branch_tasks: Sequence[str] = (),
     ):
         options = dict(explorer_options or {})
         options.pop("fixed_bindings", None)  # baked into the cubes
@@ -164,64 +217,90 @@ class _CubeWorker:
             ground_program=ground_program,
             **options,
         )
-        self.cubes = [dict(cube) for cube in cubes]
-        self._assumptions = [
-            self.explorer.bind_assumptions(cube) for cube in self.cubes
-        ]
-        self._cube_index = 0
         self._conflict_limit = conflict_limit
-        self.done = not self.cubes
+        self._resplit_conflicts = resplit_conflicts
+        self._branch_tasks = tuple(branch_tasks)
+        self.current: Optional[Dict[str, str]] = None
+        self._assumptions = []
+        self._cube_mark = 0
+        self.cubes_executed = 0
         self.interrupted = False
         self.injected = 0
+        self.delta_bytes = 0
         self.wall_time = 0.0
 
-    def inject(self, points) -> int:
-        accepted = self.explorer.inject_points(points)
+    def begin(self, cube: Dict[str, str]) -> None:
+        self.current = dict(cube)
+        self._assumptions = self.explorer.bind_assumptions(self.current)
+        self._cube_mark = self.explorer.conflict_mark()
+        self.cubes_executed += 1
+
+    def abandon(self) -> Dict[str, str]:
+        """Hand the over-budget cube back (for the scheduler to split)."""
+        cube = self.current
+        self.current = None
+        assert cube is not None
+        return cube
+
+    def inject_vectors(self, vectors) -> int:
+        accepted = self.explorer.inject_points(
+            (vector, None) for vector in vectors
+        )
         self.injected += accepted
         return accepted
 
+    def _splittable(self) -> bool:
+        current = self.current or {}
+        return any(task not in current for task in self._branch_tasks)
+
     def step(self) -> Tuple[str, Optional[ParetoPoint]]:
-        """Advance by one chunked solver call.
+        """Advance the current cube by one chunked solver call.
 
         Returns ``("model", point)`` for a newly found Pareto point,
-        ``("chunk", None)`` when a budget slice was spent or a cube was
-        exhausted (call again), or ``("done", None)``.
+        ``("chunk", None)`` when a budget slice was spent (call again),
+        ``("budget", None)`` when the cube exceeded its re-split budget
+        (call :meth:`abandon` and return it to the scheduler),
+        ``("cube_done", None)`` when the cube's subspace is exhausted,
+        or ``("halt", None)`` when the worker's total conflict budget
+        ran out.
         """
-        if self.done:
-            return ("done", None)
+        assert self.current is not None
         started = perf_counter()
-        status, point = self.explorer.solve_step(
-            self._assumptions[self._cube_index]
-        )
+        status, point = self.explorer.solve_step(self._assumptions)
         self.wall_time += perf_counter() - started
         if status == "model":
             return ("model", point)
         if status == "interrupted":
+            conflicts = self.explorer.conflict_mark()
             if (
                 self._conflict_limit is not None
-                and self.explorer.control.solver.stats.conflicts
-                >= self._conflict_limit
+                and conflicts >= self._conflict_limit
             ):
                 self.interrupted = True
-                self.done = True
-                return ("done", None)
+                self.current = None
+                return ("halt", None)
+            if (
+                self._resplit_conflicts
+                and conflicts - self._cube_mark >= self._resplit_conflicts
+                and self._splittable()
+            ):
+                return ("budget", None)
             return ("chunk", None)
         # Cube exhausted: its subspace holds no further front points.
-        self._cube_index += 1
-        if self._cube_index >= len(self.cubes):
-            self.done = True
-            return ("done", None)
-        return ("chunk", None)
+        self.current = None
+        return ("cube_done", None)
 
     def report(self, worker_id: int) -> Dict[str, object]:
         stats = self.explorer.collect_statistics()
-        front = self.explorer.front()
+        front = self.explorer.local_front()
         return {
             "worker": worker_id,
-            "cubes": len(self.cubes),
+            "cubes": self.cubes_executed,
             "front": front,
             "interrupted": self.interrupted,
             "injected": self.injected,
+            "delta_bytes": self.delta_bytes,
+            "dedup_skips": self.explorer.dedup_skips,
             "statistics": {
                 "models_enumerated": stats.models_enumerated,
                 "pareto_points_local": len(front),
@@ -247,64 +326,118 @@ class _CubeWorker:
 def _worker_main(
     worker_id: int,
     instance: EncodedInstance,
-    cubes: Sequence[Dict[str, str]],
     explorer_options: Dict[str, object],
     chunk_conflicts: Optional[int],
     conflict_limit: Optional[int],
+    resplit_conflicts: Optional[int],
+    branch_tasks: Sequence[str],
     share: bool,
-    inject_queue,
-    point_queue,
+    command_queue,
+    result_queue,
     ground_blob: Optional[bytes] = None,
 ) -> None:
-    """Process entry point: explore ``cubes``, stream points, report."""
+    """Process entry point: execute cubes the parent hands over.
+
+    Commands: ``("cube", bindings)`` begins a cube, ``("delta", blob)``
+    injects a foreign archive delta, ``("stop",)`` ends the loop.
+    Results: ``("delta", wid, blob)`` publishes new points,
+    ``("next", wid)`` requests another cube, ``("resplit", wid, cube)``
+    hands an over-budget cube back, ``("halt", wid)`` reports an
+    exhausted total budget, ``("done", wid, report)`` closes the worker.
+    """
     try:
         ground = (
             GroundProgram.from_bytes(ground_blob)
             if ground_blob is not None
             else None
         )
-        worker = _CubeWorker(
+        runner = _CubeRunner(
             instance,
-            cubes,
             explorer_options,
             chunk_conflicts,
             conflict_limit,
             ground_program=ground,
+            resplit_conflicts=resplit_conflicts,
+            branch_tasks=branch_tasks,
         )
+        buffer: List[Tuple[int, ...]] = []
+        stopping = False
+
+        def flush() -> None:
+            if buffer:
+                blob = ArchiveDelta(buffer).to_bytes()
+                runner.delta_bytes += len(blob)
+                result_queue.put(("delta", worker_id, blob))
+                del buffer[:]
+
         while True:
-            if share:
-                foreign = []
-                while True:
-                    try:
-                        foreign.append(inject_queue.get_nowait())
-                    except queue.Empty:
-                        break
-                if foreign:
-                    worker.inject(foreign)
-            status, point = worker.step()
+            block = runner.current is None and not stopping
+            while True:
+                try:
+                    if block:
+                        command = command_queue.get(timeout=0.05)
+                        block = False
+                    else:
+                        command = command_queue.get_nowait()
+                except queue.Empty:
+                    break
+                kind = command[0]
+                if kind == "cube":
+                    runner.begin(command[1])
+                elif kind == "delta":
+                    if share:
+                        runner.inject_vectors(
+                            ArchiveDelta.from_bytes(command[1]).vectors
+                        )
+                else:  # "stop"
+                    stopping = True
+            if runner.current is None:
+                if stopping:
+                    break
+                continue
+            status, point = runner.step()
             if status == "model":
-                point_queue.put(
-                    ("point", worker_id, point.vector, point.implementation)
-                )
-            elif status == "done":
-                break
-        point_queue.put(("done", worker_id, worker.report(worker_id)))
+                buffer.append(point.vector)
+                if len(buffer) >= DELTA_BATCH:
+                    flush()
+            elif status == "budget":
+                flush()
+                result_queue.put(("resplit", worker_id, runner.abandon()))
+            elif status == "cube_done":
+                flush()
+                result_queue.put(("next", worker_id))
+            elif status == "halt":
+                flush()
+                result_queue.put(("halt", worker_id))
+            else:  # "chunk"
+                flush()
+        flush()
+        result_queue.put(("done", worker_id, runner.report(worker_id)))
     except Exception:  # surfaced in the parent as a RuntimeError
-        point_queue.put(("error", worker_id, traceback.format_exc()))
+        result_queue.put(("error", worker_id, traceback.format_exc()))
 
 
 class ParallelParetoExplorer:
-    """Exact Pareto enumeration over subspace-splitting workers.
+    """Exact Pareto enumeration over elastically scheduled workers.
 
     Produces the same front as :class:`ExactParetoExplorer` — identical
-    vectors and count — for every ``jobs``/``split_depth`` combination
-    (witness implementations per vector may differ, as in any exact
-    enumerator).  Two backends:
+    vectors and count — for every ``jobs``/``split_depth``/``schedule``
+    combination (witness implementations per vector may differ, as in
+    any exact enumerator).  Two backends:
 
     * ``"process"`` (default) — one OS process per worker
-      (``multiprocessing``), points shared through queues;
+      (``multiprocessing``); the parent hosts the cube scheduler and
+      brokers cube dispatch and archive deltas over queues;
     * ``"inline"`` — deterministic in-process round-robin over the same
-      worker machinery; useful for debugging and reproducible tests.
+      worker machinery and the same scheduler; useful for debugging and
+      reproducible tests.
+
+    ``schedule`` selects the cube scheduler: ``"stealing"`` (default;
+    work-stealing deques, hypervolume-ordered priorities, adaptive
+    re-splitting after ``resplit_conflicts`` conflicts per cube) or
+    ``"static"`` (the original fixed round-robin shares).
+    ``steal_order`` picks the deterministic victim-selection policy
+    (``"busiest"``, ``"roundrobin"``, ``"reverse"``).
 
     ``share_archive=False`` isolates the workers' archives (merge still
     restores exactness); the ablation benchmark uses it to measure how
@@ -322,6 +455,9 @@ class ParallelParetoExplorer:
         jobs: int = 2,
         split_depth: Optional[int] = None,
         backend: str = "process",
+        schedule: str = "stealing",
+        steal_order: str = "busiest",
+        resplit_conflicts: Optional[int] = DEFAULT_RESPLIT_CONFLICTS,
         chunk_conflicts: Optional[int] = DEFAULT_CHUNK_CONFLICTS,
         share_archive: bool = True,
         conflict_limit: Optional[int] = None,
@@ -332,10 +468,17 @@ class ParallelParetoExplorer:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if backend not in ("process", "inline"):
             raise ValueError(f"unknown backend {backend!r}")
+        if schedule not in ("static", "stealing"):
+            raise ValueError(f"unknown schedule {schedule!r}")
         self.instance = instance
         self.jobs = jobs
         self.split_depth = split_depth
         self.backend = backend
+        self.schedule = schedule
+        self.steal_order = steal_order
+        self.resplit_conflicts = (
+            resplit_conflicts if schedule == "stealing" else None
+        )
         self.chunk_conflicts = chunk_conflicts
         self.share_archive = share_archive
         self.conflict_limit = conflict_limit
@@ -344,20 +487,32 @@ class ParallelParetoExplorer:
         self.epsilon = int(explorer_options.get("epsilon") or 0)
 
     def cubes(self) -> List[Dict[str, str]]:
-        """The guiding-path cubes this run partitions the space into."""
+        """The guiding-path cubes this run initially partitions into."""
         spec = self.instance.specification
         depth = self.split_depth
         if depth is None:
-            depth = auto_split_depth(spec, self.jobs, self.fixed_bindings)
+            depth = auto_split_depth(
+                spec, self.jobs, self.fixed_bindings, schedule=self.schedule
+            )
         return derive_cubes(spec, depth, self.fixed_bindings)
+
+    def _scheduler(self, cubes: List[Dict[str, str]], jobs: int) -> CubeScheduler:
+        return CubeScheduler(
+            cubes,
+            jobs,
+            choices=binding_choices(
+                self.instance.specification, self.fixed_bindings
+            ),
+            objectives=self.instance.objectives,
+            schedule=self.schedule,
+            steal_order=self.steal_order,
+        )
 
     def run(self) -> DseResult:
         started = perf_counter()
         cubes = self.cubes()
         jobs = max(1, min(self.jobs, len(cubes)))
-        # Static round-robin keeps the cube -> worker map deterministic,
-        # which both backends rely on for reproducible reports.
-        assignments = [cubes[worker::jobs] for worker in range(jobs)]
+        scheduler = self._scheduler(cubes, jobs)
         # Ground once in the parent and ship the artifact: the workers
         # reuse it instead of re-instantiating the same program each.
         ground, cache_hit = _ground_text_cached(
@@ -368,91 +523,177 @@ class ParallelParetoExplorer:
         self._parent_ground = ground
         self._parent_cache_hit = cache_hit
         if self.backend == "inline":
-            reports = self._run_inline(assignments, ground)
+            reports = self._run_inline(scheduler, jobs, ground)
         else:
-            reports = self._run_processes(assignments, ground)
-        return self._merge(reports, perf_counter() - started)
+            reports = self._run_processes(scheduler, jobs, ground)
+        return self._merge(scheduler, reports, perf_counter() - started)
+
+    def _branch_tasks(self) -> Tuple[str, ...]:
+        return tuple(
+            task
+            for task, _options in binding_choices(
+                self.instance.specification, self.fixed_bindings
+            )
+        )
 
     # -- backends ----------------------------------------------------------------
 
     def _run_inline(
-        self, assignments: List[List[Dict[str, str]]], ground: GroundProgram
+        self, scheduler: CubeScheduler, jobs: int, ground: GroundProgram
     ) -> Dict[int, Dict[str, object]]:
         """Deterministic round-robin over in-process workers."""
-        workers = [
-            _CubeWorker(
+        branch_tasks = self._branch_tasks()
+        runners = [
+            _CubeRunner(
                 self.instance,
-                cubes,
                 self.explorer_options,
                 self.chunk_conflicts,
                 self.conflict_limit,
                 ground_program=ground,
+                resplit_conflicts=self.resplit_conflicts,
+                branch_tasks=branch_tasks,
             )
-            for cubes in assignments
+            for _worker in range(jobs)
         ]
-        pending_points: List[List[Tuple[Tuple[int, ...], object]]] = [
-            [] for _worker in workers
-        ]
-        active = [wid for wid, worker in enumerate(workers) if not worker.done]
-        while active:
-            for wid in list(active):
-                worker = workers[wid]
-                if self.share_archive and pending_points[wid]:
-                    worker.inject(pending_points[wid])
-                    pending_points[wid] = []
-                status, point = worker.step()
-                if status == "model" and self.share_archive:
-                    for other, other_worker in enumerate(workers):
-                        if other != wid and not other_worker.done:
-                            pending_points[other].append(
-                                (point.vector, point.implementation)
-                            )
-                elif status == "done":
-                    active.remove(wid)
-        return {wid: worker.report(wid) for wid, worker in enumerate(workers)}
+        pending: List[List[Tuple[int, ...]]] = [[] for _worker in runners]
+        buffers: List[List[Tuple[int, ...]]] = [[] for _worker in runners]
+        halted = set()
+
+        def flush(wid: int) -> None:
+            if not buffers[wid]:
+                return
+            # Serialize even inline so archive_delta_bytes measures the
+            # real wire cost of the protocol.
+            blob = ArchiveDelta(buffers[wid]).to_bytes()
+            runners[wid].delta_bytes += len(blob)
+            scheduler.observe(buffers[wid])
+            if self.share_archive:
+                for other in range(jobs):
+                    if other != wid and other not in halted:
+                        pending[other].extend(buffers[wid])
+            buffers[wid] = []
+
+        for wid in range(jobs):
+            cube = scheduler.next_cube(wid)
+            if cube is not None:
+                runners[wid].begin(cube)
+        while True:
+            progressed = False
+            for wid, runner in enumerate(runners):
+                if wid in halted:
+                    continue
+                if pending[wid]:
+                    runner.inject_vectors(pending[wid])
+                    pending[wid] = []
+                if runner.current is None:
+                    cube = scheduler.next_cube(wid)
+                    if cube is None:
+                        continue
+                    runner.begin(cube)
+                progressed = True
+                status, point = runner.step()
+                if status == "model":
+                    buffers[wid].append(point.vector)
+                    if len(buffers[wid]) >= DELTA_BATCH:
+                        flush(wid)
+                elif status == "budget":
+                    flush(wid)
+                    cube = runner.abandon()
+                    if scheduler.resplit(wid, cube) == 0:
+                        runner.begin(cube)  # no binding level left
+                elif status == "halt":
+                    flush(wid)
+                    halted.add(wid)
+                else:  # "chunk" or "cube_done"
+                    flush(wid)
+            if not progressed:
+                break
+        return {wid: runner.report(wid) for wid, runner in enumerate(runners)}
 
     def _run_processes(
-        self, assignments: List[List[Dict[str, str]]], ground: GroundProgram
+        self, scheduler: CubeScheduler, jobs: int, ground: GroundProgram
     ) -> Dict[int, Dict[str, object]]:
-        """One process per worker; the parent brokers point exchange."""
+        """One process per worker; the parent schedules and brokers."""
         import multiprocessing
 
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context(
             "fork" if "fork" in methods else None
         )
-        point_queue = context.Queue()
-        inject_queues = [context.Queue() for _assignment in assignments]
+        result_queue = context.Queue()
+        command_queues = [context.Queue() for _worker in range(jobs)]
         # Serialized once here; every worker deserializes the same blob
         # instead of grounding the instance again.
         ground_blob = ground.to_bytes()
+        branch_tasks = self._branch_tasks()
         processes = [
             context.Process(
                 target=_worker_main,
                 args=(
                     wid,
                     self.instance,
-                    cubes,
                     self.explorer_options,
                     self.chunk_conflicts,
                     self.conflict_limit,
+                    self.resplit_conflicts,
+                    branch_tasks,
                     self.share_archive,
-                    inject_queues[wid],
-                    point_queue,
+                    command_queues[wid],
+                    result_queue,
                     ground_blob,
                 ),
                 daemon=True,
             )
-            for wid, cubes in enumerate(assignments)
+            for wid in range(jobs)
         ]
         for process in processes:
             process.start()
-        pending = set(range(len(assignments)))
+
+        pending = set(range(jobs))
         reports: Dict[int, Dict[str, object]] = {}
+        executing = [False] * jobs
+        waiting = set()
+        stopped = set()
+        halted = set()
+        delta_bytes = 0
+
+        def dispatch(wid: int) -> None:
+            if wid in stopped:
+                return
+            cube = scheduler.next_cube(wid)
+            if cube is not None:
+                command_queues[wid].put(("cube", cube))
+                executing[wid] = True
+            else:
+                waiting.add(wid)
+
+        def fill_waiting() -> None:
+            # Re-splits refill the deques after workers went idle; hand
+            # the new cubes out instead of letting them starve.
+            for wid in sorted(waiting):
+                if scheduler.outstanding() == 0:
+                    break
+                waiting.discard(wid)
+                dispatch(wid)
+
+        def maybe_stop() -> None:
+            if any(executing):
+                return
+            active = [wid for wid in range(jobs) if wid not in halted]
+            if scheduler.outstanding() and active:
+                return
+            for wid in range(jobs):
+                if wid not in stopped:
+                    command_queues[wid].put(("stop",))
+                    stopped.add(wid)
+
+        for wid in range(jobs):
+            dispatch(wid)
+        maybe_stop()
         try:
             while pending:
                 try:
-                    message = point_queue.get(timeout=1.0)
+                    message = result_queue.get(timeout=1.0)
                 except queue.Empty:
                     for wid in pending:
                         if not processes[wid].is_alive():
@@ -461,19 +702,45 @@ class ParallelParetoExplorer:
                                 f"(exit code {processes[wid].exitcode})"
                             )
                     continue
-                kind = message[0]
-                if kind == "point":
-                    _kind, wid, vector, implementation = message
+                kind, wid = message[0], message[1]
+                if kind == "delta":
+                    blob = message[2]
+                    delta_bytes += len(blob)
+                    scheduler.observe(ArchiveDelta.from_bytes(blob).vectors)
                     if self.share_archive:
                         for other in pending:
-                            if other != wid:
-                                inject_queues[other].put((vector, implementation))
+                            if other != wid and other not in stopped:
+                                command_queues[other].put(("delta", blob))
+                    # Fresh priorities may not add cubes, so no refill.
+                elif kind == "next":
+                    executing[wid] = False
+                    dispatch(wid)
+                    fill_waiting()
+                    maybe_stop()
+                elif kind == "resplit":
+                    executing[wid] = False
+                    if scheduler.resplit(wid, message[2]) == 0:
+                        # No binding level left (defensive; the worker
+                        # checks splittability first): hand it back.
+                        command_queues[wid].put(("cube", message[2]))
+                        executing[wid] = True
+                    else:
+                        dispatch(wid)
+                    fill_waiting()
+                    maybe_stop()
+                elif kind == "halt":
+                    executing[wid] = False
+                    halted.add(wid)
+                    command_queues[wid].put(("stop",))
+                    stopped.add(wid)
+                    fill_waiting()
+                    maybe_stop()
                 elif kind == "done":
-                    reports[message[1]] = message[2]
-                    pending.discard(message[1])
+                    reports[wid] = message[2]
+                    pending.discard(wid)
                 else:  # "error"
                     raise RuntimeError(
-                        f"parallel DSE worker {message[1]} failed:\n{message[2]}"
+                        f"parallel DSE worker {wid} failed:\n{message[2]}"
                     )
         finally:
             for process in processes:
@@ -481,15 +748,19 @@ class ParallelParetoExplorer:
                     process.terminate()
             for process in processes:
                 process.join()
-            for q in [point_queue, *inject_queues]:
+            for q in [result_queue, *command_queues]:
                 q.close()
                 q.cancel_join_thread()
+        self._parent_delta_bytes = delta_bytes
         return reports
 
     # -- merge -------------------------------------------------------------------
 
     def _merge(
-        self, reports: Dict[int, Dict[str, object]], wall_time: float
+        self,
+        scheduler: CubeScheduler,
+        reports: Dict[int, Dict[str, object]],
+        wall_time: float,
     ) -> DseResult:
         """Non-dominated union of the worker fronts + aggregated stats."""
         ordered = [reports[wid] for wid in sorted(reports)]
@@ -498,6 +769,8 @@ class ParallelParetoExplorer:
         stats.wall_time = wall_time
         stats.epsilon = self.epsilon
         stats.pareto_points = len(merged)
+        stats.steals = sum(scheduler.steals)
+        stats.resplits = scheduler.resplits
         # Grounding happened (at most) once, in the parent; the workers
         # reused the shipped artifact, so their counts stay at zero.
         parent_ground = getattr(self, "_parent_ground", None)
@@ -510,6 +783,7 @@ class ParallelParetoExplorer:
                 if not self._parent_cache_hit:
                     stats.grounding_seconds = parent_ground.grounding.seconds
         for report in ordered:
+            wid = report["worker"]
             inner = report["statistics"]
             stats.grounds += inner.get("grounds", 0)
             stats.models_enumerated += inner["models_enumerated"]
@@ -526,12 +800,21 @@ class ParallelParetoExplorer:
             stats.time_theory_propagation += inner["time_theory_propagation"]
             stats.time_dominance += inner["time_dominance"]
             stats.interrupted = stats.interrupted or report["interrupted"]
+            stats.cubes_executed += report["cubes"]
+            stats.archive_delta_bytes += report.get("delta_bytes", 0)
+            stats.archive_dedup_skips += report.get("dedup_skips", 0)
+            steals = (
+                scheduler.steals[wid] if wid < len(scheduler.steals) else 0
+            )
             stats.per_worker.append(
                 {
-                    "worker": report["worker"],
+                    "worker": wid,
                     "cubes": report["cubes"],
                     "injected": report["injected"],
                     "interrupted": report["interrupted"],
+                    "steals": steals,
+                    "delta_bytes": report.get("delta_bytes", 0),
+                    "dedup_skips": report.get("dedup_skips", 0),
                     **inner,
                 }
             )

@@ -21,6 +21,7 @@ __all__ = [
     "weakly_dominates",
     "pareto_filter",
     "non_dominated_union",
+    "hypervolume_box",
     "ListArchive",
 ]
 
@@ -65,6 +66,72 @@ def non_dominated_union(
     earliest front wins, so pass fronts in a deterministic order.
     """
     return pareto_filter(chain.from_iterable(fronts))
+
+
+def _union_volume(
+    corners: List[Vector], lower: Vector, upper: Vector
+) -> int:
+    """Volume inside ``[lower, upper)`` of the union of the upward-closed
+    boxes ``[corner, upper)``.
+
+    Corners must already be clipped into the box.  Recursive dimension
+    sweep: slice the last axis at every corner coordinate; within a slab
+    the active corners are those at or below it, and the covered area is
+    the same union one dimension down.  Exact for any dimension; the
+    practical cost is ``O(n^d)`` for ``n`` pareto-minimal corners, which
+    is cheap for the 2-3 objectives and small archives of the DSE.
+    """
+    if not corners:
+        return 0
+    if len(lower) == 1:
+        return upper[0] - min(corner[0] for corner in corners)
+    cuts = sorted({corner[-1] for corner in corners})
+    total = 0
+    for index, cut in enumerate(cuts):
+        top = cuts[index + 1] if index + 1 < len(cuts) else upper[-1]
+        active = [corner[:-1] for corner in corners if corner[-1] <= cut]
+        total += (top - cut) * _union_volume(active, lower[:-1], upper[:-1])
+    return total
+
+
+def hypervolume_box(
+    lower: Sequence[int],
+    upper: Sequence[int],
+    points: Iterable[Sequence[int]],
+) -> int:
+    """Volume of ``[lower, upper)`` *not* weakly dominated by ``points``.
+
+    The elastic cube scheduler uses this as the priority of a cube: with
+    ``lower`` the cube's objective lower-bound corner and ``upper`` the
+    reference point, the result is the hypervolume the cube could still
+    contribute to the current archive — fat, unexplored objective regions
+    first.  Exact (no sampling), deterministic, and monotone: adding
+    archive points never increases the value.  Returns 0 for an empty or
+    fully dominated box.
+    """
+    lower = tuple(lower)
+    upper = tuple(upper)
+    box = 1
+    for low, up in zip(lower, upper):
+        if up <= low:
+            return 0
+        box *= up - low
+    clipped: List[Vector] = []
+    for point in points:
+        corner = tuple(max(p, low) for p, low in zip(point, lower))
+        if all(c < up for c, up in zip(corner, upper)):
+            clipped.append(corner)
+    # Only pareto-minimal corners shape the union.
+    minimal = [
+        corner
+        for corner in set(clipped)
+        if not any(
+            other != corner and weakly_dominates(other, corner)
+            for other in clipped
+        )
+    ]
+    minimal.sort()
+    return box - _union_volume(minimal, lower, upper)
 
 
 class ListArchive(Generic[Payload]):

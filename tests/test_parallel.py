@@ -2,13 +2,15 @@
 
 The load-bearing property is *exactness*: for every curated workload the
 parallel explorer returns bit-for-bit the sequential front — same
-vectors, same count — for any worker count, split depth, backend, and
-archive-sharing mode.
+vectors, same count — for any worker count, split depth, backend,
+archive-sharing mode, cube scheduler, steal order, and re-split budget.
 """
 
 import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.asp.control import clear_ground_cache
 from repro.dse.explorer import ExactParetoExplorer, explore
@@ -18,6 +20,7 @@ from repro.dse.parallel import (
     binding_choices,
     derive_cubes,
 )
+from repro.dse.scheduler import MAX_STEALING_CUBES, STEAL_ORDERS, TARGET_CUBE_FACTOR
 from repro.synthesis.encoding import encode
 from repro.workloads.curated import CURATED_NAMES, curated
 
@@ -69,6 +72,18 @@ class TestCubes:
             depth = auto_split_depth(spec, jobs)
             assert len(derive_cubes(spec, depth)) >= 2 * jobs
         assert auto_split_depth(spec, 1) == 0
+
+    def test_auto_split_depth_stealing_targets_more_cubes(self):
+        spec = curated("network_firewall")
+        max_depth = len(binding_choices(spec))
+        for jobs in (1, 2, 4):
+            depth = auto_split_depth(spec, jobs, schedule="stealing")
+            cubes = len(derive_cubes(spec, depth))
+            assert cubes <= MAX_STEALING_CUBES
+            # Either the target was reached or every binding level is used.
+            assert cubes >= TARGET_CUBE_FACTOR * jobs or depth == max_depth
+            # Stealing needs deques to steal from even at jobs=1..2.
+            assert depth >= auto_split_depth(spec, jobs)
 
 
 class TestEquivalence:
@@ -260,6 +275,158 @@ class TestCli:
         assert code == 0
         printed = capsys.readouterr().out
         assert "worker 0:" in printed
+        assert "scheduler: stealing" in printed
         data = json.loads(output.read_text())
         assert data["statistics"]["per_worker"]
         assert data["front"]
+
+    def test_schedule_flags_smoke(self, capsys):
+        from repro.dse.__main__ import main
+
+        code = main(
+            [
+                "--tasks", "4",
+                "--seed", "1",
+                "--platform", "bus",
+                "--size", "3",
+                "--jobs", "2",
+                "--backend", "inline",
+                "--schedule", "static",
+                "--steal-order", "reverse",
+                "--resplit-budget", "100",
+            ]
+        )
+        assert code == 0
+        assert "scheduler: static" in capsys.readouterr().out
+
+
+class TestElasticScheduling:
+    """The stealing scheduler preserves bit-identical fronts.
+
+    Stealing, hypervolume-priority reordering, adaptive re-splitting,
+    and delta injection may only change *when* pruning happens, never
+    *what* the merged front contains (docs/PARALLEL.md).
+    """
+
+    @given(
+        name=st.sampled_from(("consumer_jpeg", "auto_engine", "telecom_modem")),
+        jobs=st.integers(1, 4),
+        depth=st.one_of(st.none(), st.integers(1, 3)),
+        steal_order=st.sampled_from(STEAL_ORDERS),
+        resplit=st.sampled_from((None, 25, 200, 1_000)),
+        share=st.booleans(),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_stealing_front_matches_sequential(
+        self, name, jobs, depth, steal_order, resplit, share, sequential_fronts
+    ):
+        reference = sequential_fronts[name]
+        result = ParallelParetoExplorer(
+            encode(curated(name)),
+            jobs=jobs,
+            split_depth=depth,
+            backend="inline",
+            schedule="stealing",
+            steal_order=steal_order,
+            resplit_conflicts=resplit,
+            share_archive=share,
+        ).run()
+        assert result.vectors() == reference
+
+    @pytest.mark.parametrize("schedule", ("static", "stealing"))
+    def test_process_backend_both_schedules(
+        self, schedule, sequential_fronts
+    ):
+        result = ParallelParetoExplorer(
+            encode(curated("network_firewall")),
+            jobs=3,
+            backend="process",
+            schedule=schedule,
+        ).run()
+        assert result.vectors() == sequential_fronts["network_firewall"]
+
+    def test_to_dict_front_is_stable_across_runs(self, sequential_fronts):
+        payloads = [
+            ParallelParetoExplorer(
+                encode(curated("telecom_modem")),
+                jobs=3,
+                backend="inline",
+                schedule="stealing",
+            )
+            .run()
+            .to_dict()
+            for _repeat in range(2)
+        ]
+        assert payloads[0]["front"] == payloads[1]["front"]
+        assert payloads[0]["objectives"] == payloads[1]["objectives"]
+        vectors = [tuple(point["vector"]) for point in payloads[0]["front"]]
+        assert vectors == sequential_fronts["telecom_modem"]
+        # Inline scheduling itself is deterministic, not just the front.
+        for key in ("steals", "resplits", "cubes_executed"):
+            assert (
+                payloads[0]["statistics"][key] == payloads[1]["statistics"][key]
+            )
+
+    def test_resplit_budget_triggers_and_stays_exact(self, sequential_fronts):
+        result = ParallelParetoExplorer(
+            encode(curated("network_firewall")),
+            jobs=2,
+            split_depth=1,
+            backend="inline",
+            schedule="stealing",
+            chunk_conflicts=25,
+            resplit_conflicts=50,
+        ).run()
+        stats = result.statistics
+        assert stats.resplits > 0
+        assert stats.cubes_executed > len(
+            derive_cubes(curated("network_firewall"), 1)
+        )
+        assert result.vectors() == sequential_fronts["network_firewall"]
+
+    def test_static_schedule_never_steals_or_resplits(self, sequential_fronts):
+        result = ParallelParetoExplorer(
+            encode(curated("consumer_jpeg")),
+            jobs=2,
+            backend="inline",
+            schedule="static",
+            chunk_conflicts=25,
+        ).run()
+        stats = result.statistics
+        assert stats.steals == 0
+        assert stats.resplits == 0
+        assert result.vectors() == sequential_fronts["consumer_jpeg"]
+
+    def test_scheduler_statistics_surface_everywhere(self):
+        result = ParallelParetoExplorer(
+            encode(curated("auto_engine")),
+            jobs=2,
+            backend="inline",
+            schedule="stealing",
+        ).run()
+        stats = result.statistics
+        assert stats.cubes_executed >= len(
+            ParallelParetoExplorer(
+                encode(curated("auto_engine")), jobs=2
+            ).cubes()
+        )
+        assert stats.archive_delta_bytes > 0
+        serialized = result.to_dict()["statistics"]
+        for key in (
+            "steals",
+            "resplits",
+            "cubes_executed",
+            "archive_delta_bytes",
+            "archive_dedup_skips",
+        ):
+            assert serialized[key] == getattr(stats, key)
+        for entry in stats.per_worker:
+            assert {"steals", "delta_bytes", "dedup_skips"} <= set(entry)
+        json.dumps(serialized)
+
+    def test_dedup_skips_count_foreign_reofferings(self):
+        explorer = ExactParetoExplorer(encode(curated("auto_engine")))
+        assert explorer.inject_points([((3, 3, 3), None)]) == 1
+        # The same vector re-offered is skipped by hash, not re-compared.
+        assert explorer.inject_points([((3, 3, 3), None)]) == 0
+        assert explorer.dedup_skips == 1

@@ -4,7 +4,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.dse.pareto import ListArchive, dominates, pareto_filter, weakly_dominates
+from repro.dse.pareto import (
+    ListArchive,
+    dominates,
+    hypervolume_box,
+    pareto_filter,
+    weakly_dominates,
+)
 from repro.dse.quadtree import QuadTreeArchive
 
 
@@ -142,3 +148,63 @@ def test_archive_invariant_no_dominated_members():
         for b in vectors:
             if a != b:
                 assert not weakly_dominates(a, b)
+
+
+class TestHypervolumeBox:
+    """Exact hypervolume of the undominated part of a box (cube priority)."""
+
+    def test_empty_archive_is_the_box_volume(self):
+        assert hypervolume_box((0, 0), (4, 5), []) == 20
+        assert hypervolume_box((1, 2, 3), (2, 4, 6), []) == 1 * 2 * 3
+
+    def test_degenerate_box_is_zero(self):
+        assert hypervolume_box((3, 0), (3, 5), []) == 0
+        assert hypervolume_box((4, 0), (3, 5), []) == 0
+
+    def test_dominating_corner_erases_the_box(self):
+        assert hypervolume_box((2, 2), (6, 6), [(0, 0)]) == 0
+        assert hypervolume_box((2, 2), (6, 6), [(2, 2)]) == 0
+
+    def test_single_interior_point(self):
+        # [0,4)x[0,4) minus the upward-closed region of (1,2): 16 - 3*2.
+        assert hypervolume_box((0, 0), (4, 4), [(1, 2)]) == 10
+
+    def test_points_outside_the_box_are_clipped_or_ignored(self):
+        # (5, 1) clips to (5, 1) with 5 >= upper -> no contribution.
+        assert hypervolume_box((0, 0), (4, 4), [(5, 1)]) == 16
+        # (-3, 1) clips to (0, 1): dominates the upper slab only.
+        assert hypervolume_box((0, 0), (4, 4), [(-3, 1)]) == 4
+
+    @given(
+        lower=st.tuples(st.integers(0, 6), st.integers(0, 6)),
+        extent=st.tuples(st.integers(1, 6), st.integers(1, 6)),
+        points=st.lists(
+            st.tuples(st.integers(-2, 12), st.integers(-2, 12)), max_size=8
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_cell_counting_2d(self, lower, extent, points):
+        upper = tuple(l + e for l, e in zip(lower, extent))
+        expected = sum(
+            1
+            for x in range(lower[0], upper[0])
+            for y in range(lower[1], upper[1])
+            if not any(weakly_dominates(p, (x, y)) for p in points)
+        )
+        assert hypervolume_box(lower, upper, points) == expected
+
+    @given(
+        points=st.lists(
+            st.tuples(
+                st.integers(0, 8), st.integers(0, 8), st.integers(0, 8)
+            ),
+            max_size=6,
+        ),
+        extra=st.tuples(st.integers(0, 8), st.integers(0, 8), st.integers(0, 8)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_the_archive_3d(self, points, extra):
+        lower, upper = (0, 0, 0), (9, 9, 9)
+        before = hypervolume_box(lower, upper, points)
+        after = hypervolume_box(lower, upper, points + [extra])
+        assert 0 <= after <= before
