@@ -2,9 +2,13 @@
 
 The package provides a rule-based linter that runs over the parsed AST
 *before* grounding (``repro.analysis.linter``), a grounder-equivalent
-variable-safety analysis (``repro.analysis.safety``), and a
+variable-safety analysis (``repro.analysis.safety``), a
 specification/objective validator for the synthesis layer
-(``repro.analysis.spec``).  Findings are structured
+(``repro.analysis.spec``), and a platform symmetry analyzer — a
+colored-graph automorphism engine (``repro.analysis.graph``) plus
+lex-leader constraint synthesis over ``bind/2`` atoms
+(``repro.analysis.symmetry``, see ``docs/SYMMETRY.md``).  Findings are
+structured
 :class:`~repro.analysis.diagnostics.Diagnostic` values suitable for
 text or JSON output and CI gating; see ``docs/LINT.md`` for the rule
 catalogue and suppression syntax.
@@ -26,9 +30,16 @@ from repro.analysis.diagnostics import (
     Severity,
     SourceSpan,
 )
+from repro.analysis.graph import AutomorphismGroup, ColoredGraph, automorphism_group
 from repro.analysis.linter import RULES, LintConfig, Linter, lint_files, lint_text
 from repro.analysis.safety import SafetyViolation, rule_safety_violations
 from repro.analysis.spec import SPEC_RULES, lint_instance, validate_specification
+from repro.analysis.symmetry import (
+    PlatformSymmetry,
+    SymmetryInfo,
+    analyze_specification,
+    lex_leader_program,
+)
 
 __all__ = [
     "Diagnostic",
@@ -46,4 +57,11 @@ __all__ = [
     "rule_safety_violations",
     "lint_instance",
     "validate_specification",
+    "AutomorphismGroup",
+    "ColoredGraph",
+    "automorphism_group",
+    "PlatformSymmetry",
+    "SymmetryInfo",
+    "analyze_specification",
+    "lex_leader_program",
 ]

@@ -93,6 +93,7 @@ def lint_main(argv: Optional[List[str]] = None) -> int:
         report.diagnostics.extend(part.diagnostics)
         report.files.append(path)
         report.seconds += part.seconds
+        report.suppressed += part.suppressed
 
     if args.curated:
         from repro.synthesis.encoding import encode
@@ -106,6 +107,7 @@ def lint_main(argv: Optional[List[str]] = None) -> int:
                 report.diagnostics.append(diagnostic)
             report.files.append(f"<curated:{name}>")
             report.seconds += part.seconds
+            report.suppressed += part.suppressed
 
     if args.encoding:
         from repro.synthesis.encoding import encode
@@ -116,6 +118,7 @@ def lint_main(argv: Optional[List[str]] = None) -> int:
         report.diagnostics.extend(part.diagnostics)
         report.files.append("<generated-encoding>")
         report.seconds += part.seconds
+        report.suppressed += part.suppressed
 
     report.sort()
     print(report.render(args.format))

@@ -114,6 +114,8 @@ class LintReport:
     diagnostics: List[Diagnostic] = field(default_factory=list)
     seconds: float = 0.0
     files: List[str] = field(default_factory=list)
+    #: Diagnostics dropped by ``% lint: disable=...`` comments.
+    suppressed: int = 0
 
     def extend(self, diagnostics: Iterable[Diagnostic]) -> None:
         self.diagnostics.extend(diagnostics)
@@ -142,6 +144,7 @@ class LintReport:
             "errors": self.errors,
             "warnings": self.warnings,
             "infos": self.infos,
+            "suppressed": self.suppressed,
             "seconds": self.seconds,
             "files": list(self.files),
         }
@@ -152,10 +155,13 @@ class LintReport:
         if fmt != "text":
             raise ValueError(f"unknown lint output format {fmt!r}")
         lines = [str(d) for d in self.diagnostics]
+        suppressed = (
+            f", {self.suppressed} suppressed" if self.suppressed else ""
+        )
         lines.append(
             f"{len(self.files)} file(s): {self.errors} error(s), "
             f"{self.warnings} warning(s), {self.infos} info(s)"
-            f" [{self.seconds:.3f}s]"
+            f"{suppressed} [{self.seconds:.3f}s]"
         )
         return "\n".join(lines)
 

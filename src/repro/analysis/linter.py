@@ -215,6 +215,7 @@ class Linter:
             return report
         diagnostics = self.lint_program(program, filename)
         report.diagnostics = filter_suppressed(diagnostics, text)
+        report.suppressed = len(diagnostics) - len(report.diagnostics)
         report.sort()
         report.seconds = perf_counter() - started
         return report

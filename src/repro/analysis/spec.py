@@ -50,6 +50,11 @@ SPEC_RULES: Dict[str, Tuple[Severity, str]] = {
         Severity.WARNING,
         "an objective cannot discriminate between designs",
     ),
+    "spec-symmetric-platform": (
+        Severity.INFO,
+        "the platform has non-trivial automorphisms; symmetry breaking "
+        "would shrink the search",
+    ),
 }
 
 
@@ -202,9 +207,36 @@ def lint_instance(
         validate_specification(instance.specification, instance.objectives)
     )
     diagnostics.extend(_check_objective_wiring(instance))
+    diagnostics.extend(_check_platform_symmetry(instance))
     report.diagnostics = diagnostics
     report.sort()
     return report
+
+
+def _check_platform_symmetry(instance) -> List[Diagnostic]:
+    """INFO when the platform is symmetric but the encoding is unbroken.
+
+    Runs only on instances encoded with ``symmetry="off"`` (an instance
+    that already analyzed its platform records the result on
+    ``instance.symmetry`` whether or not breaking was applied).
+    """
+    if getattr(instance, "symmetry", None) is not None:
+        return []
+    from repro.analysis.symmetry import analyze_specification
+
+    symmetry = analyze_specification(instance.specification)
+    if symmetry.trivial:
+        return []
+    orbits = symmetry.nontrivial_orbits
+    return [
+        _diag(
+            "spec-symmetric-platform",
+            f"platform has {symmetry.order - 1} non-trivial automorphism(s) "
+            f"across {len(orbits)} resource orbit(s) "
+            f"({', '.join('{' + ', '.join(o) + '}' for o in orbits)}); "
+            f"symmetry breaking recommended (encode with symmetry='auto')",
+        )
+    ]
 
 
 def _check_objective_wiring(instance) -> List[Diagnostic]:

@@ -87,6 +87,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="TASK=RESOURCE",
         help="pin a task to a resource (repeatable; what-if exploration)",
     )
+    options.add_argument(
+        "--symmetry",
+        choices=("on", "off", "auto"),
+        default="off",
+        help="lex-leader platform symmetry breaking: on = require it, "
+        "auto = apply when the platform has non-trivial automorphisms, "
+        "off = default (the front of vectors is identical either way; "
+        "see docs/SYMMETRY.md)",
+    )
 
     par = parser.add_argument_group("parallel exploration")
     par.add_argument(
@@ -170,12 +179,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
 
     print("instance:", spec.summary())
+    pins = {}
+    for entry in args.pin:
+        task, _, resource = entry.partition("=")
+        if not task or not resource:
+            parser.error(f"malformed --pin {entry!r}")
+        pins[task] = resource
+    symmetry = args.symmetry
+    if pins and symmetry != "off":
+        # A pin can exclude an orbit's lex-minimal representative, which
+        # would silently lose front points.
+        if symmetry == "on":
+            parser.error("--symmetry on cannot be combined with --pin")
+        print("symmetry: declined (pinned bindings)")
+        symmetry = "off"
     objectives = tuple(name.strip() for name in args.objectives.split(","))
     instance = encode(
         spec,
         objectives=objectives,
         serialize=args.serialize,
         latency_bound=args.latency_bound,
+        symmetry=symmetry,
     )
     lint_report = None
     if args.lint:
@@ -187,12 +211,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         if lint_report.errors:
             print(f"lint: {lint_report.errors} error(s), aborting")
             return 1
-    pins = {}
-    for entry in args.pin:
-        task, _, resource = entry.partition("=")
-        if not task or not resource:
-            parser.error(f"malformed --pin {entry!r}")
-        pins[task] = resource
     if args.jobs > 1 or args.split_depth is not None:
         from repro.dse.parallel import DEFAULT_CHUNK_CONFLICTS, ParallelParetoExplorer
         from repro.dse.scheduler import DEFAULT_RESPLIT_CONFLICTS
@@ -264,6 +282,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"{stats.propagations} propagations, {stats.restarts} restarts, "
         f"{stats.clause_db_bytes} clause db bytes"
     )
+    if instance.symmetry is not None:
+        info = instance.symmetry
+        if info.applied:
+            print(
+                f"symmetry: group order {info.order}, {info.generators} "
+                f"generator(s), {info.orbits} non-trivial orbit(s), "
+                f"{info.constraints} lex-leader constraint(s), "
+                f"{info.seconds:.3f}s"
+            )
+        else:
+            print(f"symmetry: declined ({info.declined})")
     if lint_report is not None:
         print(
             f"lint: {stats.lint_errors} error(s), {stats.lint_warnings} "

@@ -339,6 +339,20 @@ class DseStatistics:
     lint_errors: int = 0
     lint_warnings: int = 0
     lint_infos: int = 0
+    #: Symmetry analysis summary of the instance ("" when encode() ran
+    #: with symmetry="off"; otherwise the requested mode).
+    symmetry_mode: str = ""
+    #: Whether lex-leader constraints were injected into the encoding.
+    symmetry_applied: bool = False
+    #: Generators / exact order / non-trivial orbit count of the
+    #: platform automorphism group (all 0 when no analysis ran).
+    symmetry_generators: int = 0
+    symmetry_order: int = 0
+    symmetry_orbits: int = 0
+    #: Ground lex-leader integrity constraints added to the program.
+    symmetry_constraints: int = 0
+    #: Wall seconds of automorphism detection + constraint synthesis.
+    symmetry_seconds: float = 0.0
     #: Per-worker breakdowns (parallel exploration only; empty otherwise).
     per_worker: List[Dict[str, object]] = field(default_factory=list)
 
@@ -405,6 +419,13 @@ class DseResult:
                 "lint_errors": self.statistics.lint_errors,
                 "lint_warnings": self.statistics.lint_warnings,
                 "lint_infos": self.statistics.lint_infos,
+                "symmetry_mode": self.statistics.symmetry_mode,
+                "symmetry_applied": self.statistics.symmetry_applied,
+                "symmetry_generators": self.statistics.symmetry_generators,
+                "symmetry_order": self.statistics.symmetry_order,
+                "symmetry_orbits": self.statistics.symmetry_orbits,
+                "symmetry_constraints": self.statistics.symmetry_constraints,
+                "symmetry_seconds": self.statistics.symmetry_seconds,
                 "per_worker": list(self.statistics.per_worker),
             },
         }
@@ -488,6 +509,19 @@ class ExactParetoExplorer:
         self._validate_models = validate_models
         self._objective_phases = objective_phases
         self._fixed_bindings = dict(fixed_bindings or {})
+        symmetry = getattr(instance, "symmetry", None)
+        if (
+            self._fixed_bindings
+            and symmetry is not None
+            and symmetry.applied
+            and symmetry.constraints > 0
+        ):
+            raise ValueError(
+                "fixed_bindings cannot be combined with an instance that "
+                "carries lex-leader symmetry constraints: a pin may exclude "
+                "the orbit's lex-minimal representative and lose front "
+                "points; re-encode with symmetry='off' to pin bindings"
+            )
         self._ground_artifact = ground_program
         self._ground_cache = ground_cache
         self._lint = lint
@@ -688,6 +722,15 @@ class ExactParetoExplorer:
             stats.lint_errors = report.errors
             stats.lint_warnings = report.warnings
             stats.lint_infos = report.infos
+        symmetry = getattr(self.instance, "symmetry", None)
+        if symmetry is not None:
+            stats.symmetry_mode = symmetry.mode
+            stats.symmetry_applied = symmetry.applied
+            stats.symmetry_generators = symmetry.generators
+            stats.symmetry_order = symmetry.order
+            stats.symmetry_orbits = symmetry.orbits
+            stats.symmetry_constraints = symmetry.constraints
+            stats.symmetry_seconds = symmetry.seconds
         return stats
 
     def run(self) -> DseResult:
@@ -743,6 +786,7 @@ def explore(
     objectives: Sequence[str] = ("latency", "energy", "cost"),
     jobs: int = 1,
     split_depth: Optional[int] = None,
+    symmetry: str = "off",
     **kwargs,
 ) -> DseResult:
     """Convenience one-call API: encode and explore ``spec``.
@@ -750,8 +794,12 @@ def explore(
     ``jobs > 1`` (or an explicit ``split_depth``) switches to the
     subspace-splitting parallel explorer; the front is identical either
     way (see :mod:`repro.dse.parallel`).
+
+    ``symmetry`` is forwarded to :func:`~repro.synthesis.encoding.encode`
+    (``"on"``/``"auto"`` add lex-leader platform symmetry breaking; the
+    front of objective vectors is unchanged — see docs/SYMMETRY.md).
     """
-    instance = encode(spec, objectives=objectives)
+    instance = encode(spec, objectives=objectives, symmetry=symmetry)
     if jobs > 1 or split_depth is not None:
         from repro.dse.parallel import ParallelParetoExplorer
 

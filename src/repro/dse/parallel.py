@@ -483,6 +483,21 @@ class ParallelParetoExplorer:
         self.share_archive = share_archive
         self.conflict_limit = conflict_limit
         self.fixed_bindings = dict(fixed_bindings or {})
+        symmetry = getattr(instance, "symmetry", None)
+        if (
+            self.fixed_bindings
+            and symmetry is not None
+            and symmetry.applied
+            and symmetry.constraints > 0
+        ):
+            # Guiding-path cubes are fine (they partition the full space,
+            # so every orbit's lex-minimal representative stays reachable)
+            # but a user pin can exclude it and lose front points.
+            raise ValueError(
+                "fixed_bindings cannot be combined with an instance that "
+                "carries lex-leader symmetry constraints; re-encode with "
+                "symmetry='off' to pin bindings"
+            )
         self.explorer_options = dict(explorer_options)
         self.epsilon = int(explorer_options.get("epsilon") or 0)
 
@@ -771,6 +786,16 @@ class ParallelParetoExplorer:
         stats.pareto_points = len(merged)
         stats.steals = sum(scheduler.steals)
         stats.resplits = scheduler.resplits
+        # Symmetry is a property of the shared instance, not of a worker.
+        symmetry = getattr(self.instance, "symmetry", None)
+        if symmetry is not None:
+            stats.symmetry_mode = symmetry.mode
+            stats.symmetry_applied = symmetry.applied
+            stats.symmetry_generators = symmetry.generators
+            stats.symmetry_order = symmetry.order
+            stats.symmetry_orbits = symmetry.orbits
+            stats.symmetry_constraints = symmetry.constraints
+            stats.symmetry_seconds = symmetry.seconds
         # Grounding happened (at most) once, in the parent; the workers
         # reused the shipped artifact, so their counts stay at zero.
         parent_ground = getattr(self, "_parent_ground", None)

@@ -220,17 +220,25 @@ def generate_spec(seed: int) -> SpecInput:
         size: Tuple[int, int] = (2, 2)
     else:
         size = (rng.randint(2, 3), 0)
+    # Identical tiles with full mapping coverage: the symmetry-front
+    # oracle needs platforms with non-trivial automorphism groups to
+    # actually occur (a heterogeneous draw is almost never symmetric).
+    homogeneous = rng.random() < 0.3
+    options_per_task = (16, 16) if homogeneous else (1, rng.randint(1, 3))
     config = WorkloadConfig(
         tasks=rng.randint(1, 4),
         seed=rng.randrange(1_000_000),
         platform=platform,
         platform_size=size,
-        options_per_task=(1, rng.randint(1, 3)),
+        options_per_task=options_per_task,
         message_probability=rng.uniform(0.2, 1.0),
         max_message_size=rng.randint(1, 3),
+        pe_homogeneity=1.0 if homogeneous else 0.0,
     )
     spec = generate_specification(config)
     notes: List[str] = [config.name()]
+    if homogeneous:
+        notes.append("homogeneous platform")
     if rng.random() < 0.35:
         spec = _thin_mappings(spec, rng)
         notes.append("thinned mappings")

@@ -21,6 +21,7 @@ oracle                input    compared paths
 ``scale``             spec     objective scaling maps the front pointwise
 ``rename``            spec     task/resource renaming leaves the front invariant
 ``solver-core``       any      flat vs reference CDNL core (models and fronts)
+``symmetry-front``    spec     lex-leader symmetry breaking leaves the front invariant
 ====================  =======  ==================================================
 """
 
@@ -505,6 +506,46 @@ class SolverCoreOracle(Oracle):
             )
 
 
+class SymmetryFrontOracle(Oracle):
+    """Lex-leader symmetry breaking must not change the vector front.
+
+    The exactness argument (docs/SYMMETRY.md) says the Pareto front *of
+    objective vectors* is identical with breaking on or off — for every
+    platform, symmetric or not, because a trivial or partial
+    automorphism group simply yields fewer (or no) constraints.  The
+    oracle re-encodes with ``symmetry="on"`` and compares against the
+    unbroken front, sequentially and through the parallel explorer.
+    """
+
+    name = "symmetry-front"
+    kind = "spec"
+
+    def check(self, input: SpecInput) -> None:
+        base = _front_vectors(input)
+        instance = encode(
+            input.specification,
+            objectives=input.objectives,
+            latency_bound=input.latency_bound,
+            symmetry="on",
+        )
+        broken = ExactParetoExplorer(instance, validate_models=True).run()
+        if broken.vectors() != base:
+            self.diverge(
+                f"front changed under symmetry breaking: off {base} != "
+                f"on {broken.vectors()} (group order "
+                f"{instance.symmetry.order}, "
+                f"{instance.symmetry.constraints} constraints)"
+            )
+        parallel = ParallelParetoExplorer(
+            instance, jobs=2, backend="inline"
+        ).run()
+        if parallel.vectors() != base:
+            self.diverge(
+                f"parallel front changed under symmetry breaking: off "
+                f"{base} != on {parallel.vectors()}"
+            )
+
+
 #: Registry, in documentation order.
 ORACLES: Dict[str, Oracle] = {
     oracle.name: oracle
@@ -518,6 +559,7 @@ ORACLES: Dict[str, Oracle] = {
         ScaleOracle(),
         RenameOracle(),
         SolverCoreOracle(),
+        SymmetryFrontOracle(),
     )
 }
 

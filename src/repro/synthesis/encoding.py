@@ -92,6 +92,9 @@ class EncodedInstance:
     horizon: int
     serialize: bool = False
     link_contention: bool = False
+    #: What ``encode(symmetry=...)`` did (a
+    #: :class:`repro.analysis.symmetry.SymmetryInfo`); None when off.
+    symmetry: Optional[object] = None
 
     def objective(self, name: str) -> ObjectiveSpec:
         for spec in self.objectives:
@@ -301,6 +304,7 @@ def encode(
     routing: str = "free",
     link_contention: bool = False,
     lint: bool = False,
+    symmetry: str = "off",
 ) -> EncodedInstance:
     """Encode ``spec`` as an ASPmT program plus objective declarations.
 
@@ -318,9 +322,28 @@ def encode(
     first and raises :class:`SpecificationError` on error-severity
     findings — catching unroutable communications or unsatisfiable
     deadlines before they surface as an inexplicably empty Pareto front.
+    ``symmetry`` injects lex-leader symmetry-breaking constraints over
+    the ``bind/2`` atoms for the platform's automorphism group
+    (:mod:`repro.analysis.symmetry`): ``"on"`` requires free routing
+    and raises otherwise, ``"auto"`` silently declines when the group
+    is trivial or routing is fixed, ``"off"`` (the default) analyzes
+    nothing.  The Pareto front *of objective vectors* is identical with
+    breaking on or off (symmetric mappings share their vector); only
+    the witness implementations and the search effort change.
     """
     if routing not in ("free", "fixed"):
         raise ValueError(f"unknown routing mode {routing!r}")
+    if symmetry not in ("off", "on", "auto"):
+        raise ValueError(
+            f"unknown symmetry mode {symmetry!r}; have off, on, auto"
+        )
+    if symmetry == "on" and routing == "fixed":
+        raise ValueError(
+            "symmetry='on' requires routing='free': fixed-route tables "
+            "pick canonical paths whose energy/cost need not be invariant "
+            "under platform automorphisms (use symmetry='auto' to decline "
+            "gracefully)"
+        )
     if lint:
         from repro.analysis import Severity, validate_specification
 
@@ -358,6 +381,9 @@ def encode(
         parts.append(_SERIALIZE_RULES)
     if latency_bound is not None:
         parts.append(f"&sum {{ latency }} <= {latency_bound}.")
+    symmetry_info = None
+    if symmetry != "off":
+        symmetry_info = _apply_symmetry(spec, symmetry, routing, parts)
     return EncodedInstance(
         specification=spec,
         program="\n".join(parts),
@@ -365,4 +391,44 @@ def encode(
         horizon=h,
         serialize=serialize,
         link_contention=link_contention,
+        symmetry=symmetry_info,
+    )
+
+
+def _apply_symmetry(spec: Specification, mode: str, routing: str, parts: List[str]):
+    """Analyze the platform and append lex-leader rules to ``parts``."""
+    from time import perf_counter
+
+    from repro.analysis.symmetry import (
+        SymmetryInfo,
+        analyze_specification,
+        lex_leader_program,
+    )
+
+    started = perf_counter()
+    platform = analyze_specification(spec)
+    declined: Optional[str] = None
+    if routing == "fixed":
+        declined = "fixed routing tables are not automorphism-invariant"
+    elif platform.trivial:
+        declined = "trivial automorphism group"
+    applied = False
+    constraints = 0
+    if declined is None:
+        text, constraints = lex_leader_program(spec, platform)
+        if constraints:
+            parts.append("% --- lex-leader symmetry breaking ---")
+            parts.append(text)
+            applied = True
+        else:
+            declined = "no generator constrains any binding"
+    return SymmetryInfo(
+        mode=mode,
+        applied=applied,
+        generators=len(platform.generators),
+        order=platform.order,
+        orbits=len(platform.nontrivial_orbits),
+        constraints=constraints,
+        seconds=perf_counter() - started,
+        declined=declined,
     )

@@ -34,17 +34,29 @@ TILE_CLASSES: Tuple[Tuple[str, int, int, int], ...] = (
 
 
 def heterogeneous_resources(
-    count: int, seed: int = 0, prefix: str = "pe"
+    count: int, seed: int = 0, prefix: str = "pe", homogeneity: float = 0.0
 ) -> List[Tuple[Resource, Tuple[str, int, int, int]]]:
     """``count`` tiles with deterministic pseudo-random classes.
 
     Returns ``(resource, tile_class)`` pairs; the class factors scale the
     application's nominal WCET/energy in the workload generators.
+
+    ``homogeneity`` biases tiles toward the first-drawn class: each
+    subsequent tile repeats it with that probability (1.0 = identical
+    tiles, the platform-symmetry stress case).  ``homogeneity=0.0``
+    consumes exactly the same random draws as before the knob existed,
+    so existing seeded instances are unchanged.
     """
     rng = random.Random(seed)
-    out = []
+    out: List[Tuple[Resource, Tuple[str, int, int, int]]] = []
+    base: Optional[Tuple[str, int, int, int]] = None
     for index in range(count):
-        tile = rng.choice(TILE_CLASSES)
+        if base is not None and homogeneity > 0.0 and rng.random() < homogeneity:
+            tile = base
+        else:
+            tile = rng.choice(TILE_CLASSES)
+        if base is None:
+            base = tile
         out.append((Resource(f"{prefix}{index}", cost=tile[1]), tile))
     return out
 
@@ -64,6 +76,7 @@ def mesh(
     seed: int = 0,
     link_delay: int = 1,
     link_energy: int = 1,
+    homogeneity: float = 0.0,
 ) -> Architecture:
     """A ``columns x rows`` mesh NoC of heterogeneous tiles.
 
@@ -73,7 +86,9 @@ def mesh(
     """
     if columns < 1 or rows < 1:
         raise ValueError("mesh needs at least one column and row")
-    tiles = heterogeneous_resources(columns * rows, seed=seed)
+    tiles = heterogeneous_resources(
+        columns * rows, seed=seed, homogeneity=homogeneity
+    )
     resources = [resource for resource, _tile in tiles]
     links: List[Link] = []
 
@@ -101,11 +116,12 @@ def bus(
     seed: int = 0,
     link_delay: int = 1,
     link_energy: int = 1,
+    homogeneity: float = 0.0,
 ) -> Architecture:
     """``count`` heterogeneous PEs attached to one shared bus resource."""
     if count < 1:
         raise ValueError("bus needs at least one processing element")
-    tiles = heterogeneous_resources(count, seed=seed)
+    tiles = heterogeneous_resources(count, seed=seed, homogeneity=homogeneity)
     resources = [resource for resource, _tile in tiles]
     hub = Resource("bus", cost=1)
     links: List[Link] = []
@@ -121,11 +137,12 @@ def ring(
     seed: int = 0,
     link_delay: int = 1,
     link_energy: int = 1,
+    homogeneity: float = 0.0,
 ) -> Architecture:
     """A unidirectional ring of ``count`` heterogeneous PEs."""
     if count < 2:
         raise ValueError("ring needs at least two processing elements")
-    tiles = heterogeneous_resources(count, seed=seed)
+    tiles = heterogeneous_resources(count, seed=seed, homogeneity=homogeneity)
     resources = [resource for resource, _tile in tiles]
     links = [
         Link(

@@ -34,6 +34,7 @@ CURATED_NAMES = (
     "telecom_modem",
     "auto_engine",
     "network_firewall",
+    "mesh_symmetric",
 )
 
 
@@ -198,11 +199,64 @@ def _network_firewall() -> Specification:
     return Specification(application, _bus_platform(pes), _mappings(table))
 
 
+def _mesh_symmetric() -> Specification:
+    """Sensor chain on a 3x3 mesh of *identical* tiles.
+
+    The canonical symmetry showcase: every tile has the same cost and
+    the same per-task WCET/energy, and the mesh links are uniform, so
+    the platform's automorphism group is the full D4 of the grid (order
+    8) with orbits {corners, edge midpoints, center}.  Without symmetry
+    breaking the solver re-proves every placement once per grid
+    symmetry; the deadlines (``sense`` by 3, ``emit`` end-to-end by 10)
+    make distributed placements route-sensitive, so the unbroken search
+    does real work that lex-leader constraints then cut by roughly 4x in
+    conflicts and 5x in feasible models; see
+    ``benchmarks/bench_symmetry.py`` and ``docs/SYMMETRY.md``.
+    """
+    application = Application(
+        tasks=(
+            Task("sense", deadline=3),
+            Task("proc"),
+            Task("emit", deadline=10),
+        ),
+        messages=(
+            Message("s0", "sense", "proc", size=1),
+            Message("s1", "proc", "emit", size=1),
+        ),
+    )
+    pes = [Resource(f"tile{x}{y}", cost=6) for y in range(3) for x in range(3)]
+    links: List[Link] = []
+
+    def name(x: int, y: int) -> str:
+        return f"tile{x}{y}"
+
+    for y in range(3):
+        for x in range(3):
+            for dx, dy in ((1, 0), (0, 1)):
+                nx, ny = x + dx, y + dy
+                if nx < 3 and ny < 3:
+                    links.append(
+                        Link(f"m{x}{y}_{nx}{ny}", name(x, y), name(nx, ny), delay=1, energy=1)
+                    )
+                    links.append(
+                        Link(f"m{nx}{ny}_{x}{y}", name(nx, ny), name(x, y), delay=1, energy=1)
+                    )
+    table = {
+        "sense": {pe.name: (2, 1) for pe in pes},
+        "proc": {pe.name: (4, 3) for pe in pes},
+        "emit": {pe.name: (2, 1) for pe in pes},
+    }
+    return Specification(
+        application, Architecture(tuple(pes), tuple(links)), _mappings(table)
+    )
+
+
 _BUILDERS = {
     "consumer_jpeg": _consumer_jpeg,
     "telecom_modem": _telecom_modem,
     "auto_engine": _auto_engine,
     "network_firewall": _network_firewall,
+    "mesh_symmetric": _mesh_symmetric,
 }
 
 
@@ -219,11 +273,19 @@ def curated_instances() -> List[NamedInstance]:
     out = []
     for name in CURATED_NAMES:
         spec = curated(name)
-        config = WorkloadConfig(
-            tasks=len(spec.application.tasks),
-            seed=0,
-            platform="bus",
-            platform_size=(len(spec.architecture.resources) - 1, 0),
-        )
+        if name == "mesh_symmetric":
+            config = WorkloadConfig(
+                tasks=len(spec.application.tasks),
+                seed=0,
+                platform="mesh",
+                platform_size=(3, 3),
+            )
+        else:
+            config = WorkloadConfig(
+                tasks=len(spec.application.tasks),
+                seed=0,
+                platform="bus",
+                platform_size=(len(spec.architecture.resources) - 1, 0),
+            )
         out.append(NamedInstance(name, config, spec))
     return out

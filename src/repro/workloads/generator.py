@@ -44,6 +44,10 @@ class WorkloadConfig:
     options_per_task: Tuple[int, int] = (2, 3)  # inclusive range
     message_probability: float = 0.5
     max_message_size: int = 3
+    #: Probability that a tile repeats the first-drawn tile class (1.0 =
+    #: identical PEs, the symmetry stress case; 0.0 keeps the historical
+    #: random draws byte-for-byte).
+    pe_homogeneity: float = 0.0
 
     def __post_init__(self) -> None:
         self.validate()
@@ -87,6 +91,10 @@ class WorkloadConfig:
         if self.max_message_size < 1:
             raise ValueError(
                 f"max_message_size must be positive, got {self.max_message_size}"
+            )
+        if not 0.0 <= self.pe_homogeneity <= 1.0:
+            raise ValueError(
+                f"pe_homogeneity must lie in [0, 1], got {self.pe_homogeneity}"
             )
 
     def name(self) -> str:
@@ -157,11 +165,21 @@ def generate_application(
 def _build_platform(config: WorkloadConfig) -> Architecture:
     if config.platform == "mesh":
         cols, rows = config.platform_size
-        return mesh(cols, rows, seed=config.seed)
+        return mesh(
+            cols, rows, seed=config.seed, homogeneity=config.pe_homogeneity
+        )
     if config.platform == "bus":
-        return bus(config.platform_size[0], seed=config.seed)
+        return bus(
+            config.platform_size[0],
+            seed=config.seed,
+            homogeneity=config.pe_homogeneity,
+        )
     if config.platform == "ring":
-        return ring(config.platform_size[0], seed=config.seed)
+        return ring(
+            config.platform_size[0],
+            seed=config.seed,
+            homogeneity=config.pe_homogeneity,
+        )
     raise ValueError(f"unknown platform {config.platform!r}")
 
 

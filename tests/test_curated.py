@@ -14,6 +14,7 @@ EXPECTED_TASKS = {
     "telecom_modem": 6,
     "auto_engine": 6,
     "network_firewall": 10,
+    "mesh_symmetric": 3,
 }
 
 
