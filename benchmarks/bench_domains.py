@@ -1,0 +1,120 @@
+"""Domain-pruning benchmark: grounding effort with the analysis on/off.
+
+Grounds curated DSE encodings with ``Grounder(domain_prune=...)`` off
+vs. on and writes the table plus headline ratios to
+``BENCH_domains.json`` at the repository root.
+
+The pruning wins come from eagerly evaluated comparison guards: the
+serialization and link-contention rules join symmetric pairs
+(``conflict(T1, T2) :- bind(T1, R), bind(T2, R), T1 < T2`` and the
+``clash/2`` analogue) and the analysis rejects the ``T1 >= T2`` half
+of each join before the head is instantiated.  Instantiation counts
+are deterministic, so the floor is asserted on the best
+instantiation-reduction ratio (wall clock is recorded for the table
+but only asserted through a soft, noise-tolerant OR-floor as the
+acceptance contract requires: >= 1.3x fewer instantiations *or*
+>= 1.15x faster grounding on at least one configuration).
+
+Output equality rides along: every configuration must ground to the
+identical rule set and atom universe with pruning on and off (the
+``domain-soundness`` fuzz oracle enforces the same contract on random
+programs).
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.asp.grounder import Grounder
+from repro.asp.parser import parse_program
+from repro.synthesis.encoding import encode
+from repro.workloads.curated import curated
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_domains.json"
+
+#: (instance, encode kwargs) configurations measured; the heavier
+#: scheduling variants are where the guard pruning has joins to cut.
+CONFIGS = (
+    ("consumer_jpeg", {"link_contention": True}),
+    ("auto_engine", {"serialize": True, "link_contention": True}),
+    ("network_firewall", {"serialize": True}),
+    ("network_firewall", {"serialize": True, "link_contention": True}),
+)
+
+INSTANTIATION_FLOOR = 1.3
+WALL_FLOOR = 1.15
+
+
+def ground_once(program_text: str, domain_prune: bool):
+    grounder = Grounder(parse_program(program_text), domain_prune=domain_prune)
+    started = time.perf_counter()
+    rules = grounder.ground()
+    wall = time.perf_counter() - started
+    return grounder, rules, wall
+
+
+def run_domain_comparison():
+    rows = []
+    for name, kwargs in CONFIGS:
+        instance = encode(
+            curated(name), objectives=("latency", "energy", "cost"), **kwargs
+        )
+        off, off_rules, off_wall = ground_once(instance.program, False)
+        on, on_rules, on_wall = ground_once(instance.program, True)
+        assert [str(r) for r in off_rules] == [str(r) for r in on_rules], (
+            f"{name}: pruning changed the ground rule set"
+        )
+        assert off.possible_atoms == on.possible_atoms
+        assert off.fact_atoms == on.fact_atoms
+        rows.append(
+            {
+                "instance": name,
+                "config": {key: True for key in kwargs},
+                "instantiations_off": off.statistics.instantiations,
+                "instantiations_on": on.statistics.instantiations,
+                "instantiation_reduction": round(
+                    off.statistics.instantiations
+                    / max(on.statistics.instantiations, 1),
+                    3,
+                ),
+                "pruned_instances": on.statistics.pruned_instances,
+                "rules_skipped": on.statistics.rules_skipped,
+                "ground_rules": len(on_rules),
+                "wall_off_s": round(off_wall, 4),
+                "wall_on_s": round(on_wall, 4),
+                "wall_reduction": round(off_wall / max(on_wall, 1e-9), 3),
+                "analysis_s": round(on.statistics.domain_seconds, 6),
+            }
+        )
+    return rows
+
+
+def test_domain_pruning_floor(benchmark):
+    rows = benchmark.pedantic(run_domain_comparison, rounds=1, iterations=1)
+
+    best_instantiation = max(row["instantiation_reduction"] for row in rows)
+    best_wall = max(row["wall_reduction"] for row in rows)
+    assert (
+        best_instantiation >= INSTANTIATION_FLOOR or best_wall >= WALL_FLOOR
+    ), (
+        f"domain pruning below both floors: best instantiation reduction "
+        f"{best_instantiation}x (floor {INSTANTIATION_FLOOR}x), best wall "
+        f"reduction {best_wall}x (floor {WALL_FLOOR}x)"
+    )
+    # Every configuration must at least do *some* pruning work.
+    assert all(row["pruned_instances"] > 0 for row in rows)
+
+    report = {
+        "rows": rows,
+        "headline": {
+            "best_instantiation_reduction": best_instantiation,
+            "best_wall_reduction": best_wall,
+            "floors": {
+                "instantiation_reduction": INSTANTIATION_FLOOR,
+                "wall_reduction": WALL_FLOOR,
+            },
+        },
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    benchmark.extra_info["rows"] = rows
+    benchmark.extra_info["headline"] = report["headline"]

@@ -1,8 +1,12 @@
 """Static analysis for ASP programs and synthesis specifications.
 
 The package provides a rule-based linter that runs over the parsed AST
-*before* grounding (``repro.analysis.linter``), a grounder-equivalent
-variable-safety analysis (``repro.analysis.safety``), a
+*before* grounding (``repro.analysis.linter``), an abstract domain
+analyzer inferring per-argument constant sets/intervals/shapes that
+also prunes the grounder and seeds theory bounds
+(``repro.analysis.domains``, see ``docs/DOMAINS.md``), a
+grounder-equivalent variable-safety analysis
+(``repro.analysis.safety``), a
 specification/objective validator for the synthesis layer
 (``repro.analysis.spec``), and a platform symmetry analyzer — a
 colored-graph automorphism engine (``repro.analysis.graph``) plus
@@ -29,6 +33,14 @@ from repro.analysis.diagnostics import (
     LintReport,
     Severity,
     SourceSpan,
+)
+from repro.analysis.domains import (
+    Dom,
+    DomainAnalysis,
+    DomainInfo,
+    analyze_program,
+    analyze_rules,
+    canonical_rule,
 )
 from repro.analysis.graph import AutomorphismGroup, ColoredGraph, automorphism_group
 from repro.analysis.linter import RULES, LintConfig, Linter, lint_files, lint_text
@@ -64,4 +76,10 @@ __all__ = [
     "SymmetryInfo",
     "analyze_specification",
     "lex_leader_program",
+    "Dom",
+    "DomainAnalysis",
+    "DomainInfo",
+    "analyze_program",
+    "analyze_rules",
+    "canonical_rule",
 ]

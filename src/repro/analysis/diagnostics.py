@@ -4,7 +4,8 @@ A :class:`Diagnostic` is one finding: a stable kebab-case rule id, a
 severity, a human-readable message and (when the finding is anchored in
 source text) a :class:`SourceSpan`.  A :class:`LintReport` aggregates the
 findings of one lint run together with timing, and renders them as
-``file:line:col: severity[rule-id]: message`` text or as JSON for CI.
+``file:line:col: severity[rule-id]: message`` text, as JSON for CI, or
+as SARIF 2.1.0 (``render("sarif")``) for code-annotation uploads.
 
 Suppression: ``% lint: disable=<id>[,<id>...]`` in the linted source
 disables the listed rule ids (or ``all``) — for the statement(s) starting
@@ -29,6 +30,11 @@ __all__ = [
     "suppressions",
     "filter_suppressed",
 ]
+
+
+#: SARIF result levels for each severity (SARIF has no "info" level —
+#: the spec maps informational findings to "note").
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
 
 
 class Severity(enum.Enum):
@@ -149,9 +155,81 @@ class LintReport:
             "files": list(self.files),
         }
 
+    def to_sarif(self) -> Dict[str, object]:
+        """The report as a SARIF 2.1.0 log (one run, one result per
+        diagnostic) — the schema GitHub code scanning ingests."""
+        from repro import __version__ as version
+        from repro.analysis.linter import RULES
+
+        used = sorted({d.rule for d in self.diagnostics})
+        rules = [
+            {
+                "id": rule_id,
+                "shortDescription": {"text": RULES[rule_id][1]},
+                "defaultConfiguration": {
+                    "level": _SARIF_LEVELS[RULES[rule_id][0].value]
+                },
+            }
+            for rule_id in used
+            if rule_id in RULES
+        ]
+        rule_index = {entry["id"]: index for index, entry in enumerate(rules)}
+        results = []
+        for diagnostic in self.diagnostics:
+            result: Dict[str, object] = {
+                "ruleId": diagnostic.rule,
+                "level": _SARIF_LEVELS[diagnostic.severity.value],
+                "message": {"text": diagnostic.message},
+            }
+            if diagnostic.rule in rule_index:
+                result["ruleIndex"] = rule_index[diagnostic.rule]
+            if diagnostic.span is not None:
+                span = diagnostic.span
+                region: Dict[str, object] = {
+                    "startLine": span.line,
+                    "startColumn": span.column,
+                }
+                if span.end_line is not None:
+                    region["endLine"] = span.end_line
+                if span.end_column is not None:
+                    region["endColumn"] = span.end_column
+                result["locations"] = [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {"uri": span.file},
+                            "region": region,
+                        }
+                    }
+                ]
+            results.append(result)
+        return {
+            "$schema": (
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json"
+            ),
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro-lint",
+                            "version": version,
+                            "rules": rules,
+                        }
+                    },
+                    "artifacts": [
+                        {"location": {"uri": path}} for path in self.files
+                    ],
+                    "results": results,
+                }
+            ],
+        }
+
     def render(self, fmt: str = "text") -> str:
         if fmt == "json":
             return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+        if fmt == "sarif":
+            return json.dumps(self.to_sarif(), indent=2, sort_keys=True)
         if fmt != "text":
             raise ValueError(f"unknown lint output format {fmt!r}")
         lines = [str(d) for d in self.diagnostics]

@@ -18,9 +18,19 @@ arity-mismatch          warning   predicate used with an arity it is never defin
 dead-rule               warning   positive body literal that can never be derived
 unused-predicate        warning   predicate defined but never used or shown
 grounding-blowup        warning   estimated join size exceeds the threshold
+type-conflict           warning   argument position used with incompatible types
+empty-domain            warning   rule body meets to an empty abstract domain
+comparison-out-of-range warning   builtin comparison is statically false
 unstratified-negation   info      negative cycle in the predicate dependency graph
 nontight-cycle          info      positive recursion (non-tight program)
+constraint-vacuous      info      integrity constraint whose body never holds
+duplicate-rule          info      rule repeats an earlier rule up to renaming
 ======================  ========  ==================================================
+
+The ``type-conflict``/``empty-domain``/``comparison-out-of-range``/
+``constraint-vacuous`` rules and the sharpened ``grounding-blowup``
+estimate are driven by the abstract domain analysis
+(:mod:`repro.analysis.domains`, see ``docs/DOMAINS.md``).
 
 Severities encode the contract with runtime: *error* findings crash (or
 are silently dropped by) the grounder/theory, *warnings* are very likely
@@ -37,6 +47,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 import networkx as nx
 
 from repro.analysis import safety
+from repro.analysis.domains import DomainAnalysis, analyze_rules, canonical_rule
 from repro.analysis.diagnostics import (
     Diagnostic,
     LintReport,
@@ -89,11 +100,31 @@ RULES: Dict[str, Tuple[Severity, str]] = {
         Severity.WARNING,
         "estimated join size exceeds the configured threshold",
     ),
+    "type-conflict": (
+        Severity.WARNING,
+        "argument position is used with incompatible abstract types",
+    ),
+    "empty-domain": (
+        Severity.WARNING,
+        "rule body meets to an empty abstract domain and can never fire",
+    ),
+    "comparison-out-of-range": (
+        Severity.WARNING,
+        "builtin comparison is statically false for all inferred values",
+    ),
     "unstratified-negation": (
         Severity.INFO,
         "negation through a recursive component",
     ),
     "nontight-cycle": (Severity.INFO, "positive recursion (non-tight program)"),
+    "constraint-vacuous": (
+        Severity.INFO,
+        "integrity constraint whose body can never hold",
+    ),
+    "duplicate-rule": (
+        Severity.INFO,
+        "rule is syntactically identical to an earlier rule up to renaming",
+    ),
 }
 
 _THEORY_NAMES = ("dom", "sum", "diff")
@@ -234,12 +265,15 @@ class Linter:
             rules, dict(program.constants), program.shows, set(program.externals)
         )
         infos = _collect(program)
+        analysis = self._analyze(program)
         out: List[Diagnostic] = []
         self._check_safety(infos, out)
         self._check_predicates(program, infos, out)
         self._check_cycles(program, infos, out)
         self._check_theory_atoms(program, infos, out)
-        self._check_blowup(infos, out)
+        self._check_domains(program, infos, analysis, out)
+        self._check_duplicates(infos, out)
+        self._check_blowup(infos, analysis, out)
         if self.config.disable:
             out = [d for d in out if d.rule not in self.config.disable]
         out.sort(key=Diagnostic.sort_key)
@@ -577,15 +611,114 @@ class Linter:
                     location,
                 )
 
+    # -- abstract-domain checks --------------------------------------------
+
+    @staticmethod
+    def _analyze(program: ast.Program) -> Optional[DomainAnalysis]:
+        """Run the abstract domain analysis; ``None`` if it fails (the
+        dependent checks then degrade gracefully)."""
+        try:
+            return analyze_rules(program.rules, externals=program.externals)
+        except Exception:
+            return None
+
+    def _check_domains(
+        self,
+        program: ast.Program,
+        infos: Sequence[_RuleInfo],
+        analysis: Optional[DomainAnalysis],
+        out: List[Diagnostic],
+    ) -> None:
+        """Emit ``type-conflict``/``empty-domain``/
+        ``comparison-out-of-range``/``constraint-vacuous`` from the
+        analyzer's dead-rule verdicts."""
+        if analysis is None:
+            return
+        derivable = {sig for info in infos for sig in info.heads}
+        derivable |= set(program.externals)
+        for index, dead in sorted(analysis.dead.items()):
+            info = infos[index]
+            rule = info.rule
+            if dead.cause == "empty" and any(
+                not occ.negative and occ.signature not in derivable
+                for occ in info.uses
+            ):
+                # Already covered by undefined-predicate / dead-rule.
+                continue
+            location = dead.location or rule.location
+            if rule.head is None:
+                self._emit(
+                    out,
+                    "constraint-vacuous",
+                    f"constraint `{rule}` is vacuous: {dead.detail}",
+                    location,
+                )
+            elif dead.cause == "comparison":
+                self._emit(
+                    out,
+                    "comparison-out-of-range",
+                    f"rule `{rule}` can never fire: {dead.detail}",
+                    location,
+                )
+            elif dead.cause == "type":
+                self._emit(
+                    out,
+                    "type-conflict",
+                    f"rule `{rule}` can never fire: {dead.detail}",
+                    location,
+                )
+            else:
+                self._emit(
+                    out,
+                    "empty-domain",
+                    f"rule `{rule}` can never fire: {dead.detail}",
+                    location,
+                )
+
+    def _check_duplicates(
+        self, infos: Sequence[_RuleInfo], out: List[Diagnostic]
+    ) -> None:
+        """Flag rules that are syntactically identical to an earlier
+        rule after canonical variable renaming."""
+        seen: Dict[str, ast.Rule] = {}
+        for info in infos:
+            key = str(canonical_rule(info.rule))
+            first = seen.get(key)
+            if first is None:
+                seen[key] = info.rule
+                continue
+            where = ""
+            if first.location is not None:
+                where = f" (line {first.location.line})"
+            self._emit(
+                out,
+                "duplicate-rule",
+                f"rule `{info.rule}` duplicates an earlier rule{where} "
+                f"up to variable renaming",
+                info.rule.location,
+            )
+
     # -- grounding-blowup estimation ---------------------------------------
 
     def _check_blowup(
-        self, infos: Sequence[_RuleInfo], out: List[Diagnostic]
+        self,
+        infos: Sequence[_RuleInfo],
+        analysis: Optional[DomainAnalysis],
+        out: List[Diagnostic],
     ) -> None:
         estimates = _signature_estimates(infos)
         threshold = self.config.blowup_threshold
-        for info in infos:
+        dead = set(analysis.dead) if analysis is not None else set()
+        for index, info in enumerate(infos):
+            if index in dead:
+                continue  # provably never fires — no join to fear
             size = _rule_join_estimate(info.rule, estimates)
+            if size > threshold and analysis is not None:
+                # The domain-aware estimate is an upper bound too; take
+                # the tighter of the two before warning.
+                refined = analysis.rule_estimate(info.rule)
+                if refined is not None:
+                    size = min(size, refined)
             if size > threshold:
                 self._emit(
                     out,

@@ -26,7 +26,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.asp.completion import Translation, translate
 from repro.asp.ground import GroundProgram
-from repro.asp.grounder import Grounder
+from repro.asp.grounder import Grounder, domain_prune_default
 from repro.asp.parser import parse_program
 from repro.asp.propagator import PropagatorInit, TheoryPropagator
 from repro.asp.solver import Solver, SolverStatistics
@@ -74,19 +74,23 @@ def ground_cache_info() -> Dict[str, int]:
 
 
 def _ground_text_cached(
-    text: str, cache: bool, mode: str
+    text: str, cache: bool, mode: str, domain_prune: Optional[bool] = None
 ) -> Tuple[GroundProgram, bool]:
     """Ground ``text`` into a :class:`GroundProgram`; returns (program, hit).
 
-    The LRU is keyed on the exact program text (plus grounding mode), so
-    repeated ``explore()``/``Control`` runs over the same instance —
+    The LRU is keyed on the exact program text (plus grounding mode and
+    the effective domain-prune flag — outputs are identical either way,
+    but the attached statistics are not), so repeated
+    ``explore()``/``Control`` runs over the same instance —
     benchmark repetitions, parallel workers on one machine, test
     fixtures — instantiate it once.  Sharing is safe because nothing
     downstream mutates a :class:`GroundProgram` (the translator only
     reads it; the dependency-graph cache is idempotent).
     """
     global _ground_cache_hits, _ground_cache_misses
-    key = (mode, text)
+    if domain_prune is None:
+        domain_prune = domain_prune_default()
+    key = (mode, bool(domain_prune), text)
     if cache:
         program = _ground_cache.get(key)
         if program is not None:
@@ -95,7 +99,7 @@ def _ground_text_cached(
             return program, True
         _ground_cache_misses += 1
     parsed = parse_program(text)
-    grounder = Grounder(parsed, mode=mode)
+    grounder = Grounder(parsed, mode=mode, domain_prune=domain_prune)
     rules = grounder.ground()
     program = GroundProgram(
         rules,
@@ -113,15 +117,20 @@ def _ground_text_cached(
 
 
 def ground_text(
-    text: str, cache: bool = True, mode: str = "seminaive"
+    text: str,
+    cache: bool = True,
+    mode: str = "seminaive",
+    domain_prune: Optional[bool] = None,
 ) -> GroundProgram:
     """Ground program ``text`` into a reusable :class:`GroundProgram`.
 
     The resulting artifact is picklable (``to_bytes``/``from_bytes``)
     and can be passed to :meth:`Control.ground` — or shipped to another
-    process — to skip instantiation entirely.
+    process — to skip instantiation entirely.  ``domain_prune`` opts
+    in/out of abstract-domain join pruning (``None`` follows the
+    ``REPRO_DOMAIN_PRUNE`` environment default).
     """
-    program, _hit = _ground_text_cached(text, cache, mode)
+    program, _hit = _ground_text_cached(text, cache, mode, domain_prune)
     return program
 
 
@@ -240,6 +249,7 @@ class Control:
         cache: bool = True,
         mode: str = "seminaive",
         lint: object = False,
+        domain_prune: Optional[bool] = None,
     ) -> None:
         """Instantiate and translate the program.
 
@@ -266,7 +276,7 @@ class Control:
             text = "\n".join(self._parts)
             if lint:
                 self._lint(text, lint)
-            program, hit = _ground_text_cached(text, cache, mode)
+            program, hit = _ground_text_cached(text, cache, mode, domain_prune)
             self.ground_cache_hit = hit
             if not hit:
                 self.grounds += 1

@@ -76,7 +76,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     options.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="lint diagnostic output format (with --lint)",
     )
@@ -95,6 +95,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "auto = apply when the platform has non-trivial automorphisms, "
         "off = default (the front of vectors is identical either way; "
         "see docs/SYMMETRY.md)",
+    )
+    options.add_argument(
+        "--domain-bounds",
+        choices=("on", "off", "auto"),
+        default="off",
+        help="seed theory objective bounds from the abstract domain "
+        "analysis: on = require it, auto = decline gracefully, off = "
+        "default (the front is identical either way; see docs/DOMAINS.md)",
     )
 
     par = parser.add_argument_group("parallel exploration")
@@ -200,6 +208,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         serialize=args.serialize,
         latency_bound=args.latency_bound,
         symmetry=symmetry,
+        domain_bounds=args.domain_bounds,
     )
     lint_report = None
     if args.lint:
@@ -293,6 +302,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         else:
             print(f"symmetry: declined ({info.declined})")
+    if instance.domain is not None or stats.domain_mode:
+        info = instance.domain
+        if info is not None and info.applied:
+            bounds = ", ".join(
+                f"{name} in [{lo}, {hi}]"
+                for name, (lo, hi) in sorted(info.bounds.items())
+            )
+            print(
+                f"domains: {info.predicates} predicate(s), "
+                f"{info.widenings} widening(s), seeded {bounds}, "
+                f"{stats.domain_seconds:.3f}s"
+            )
+        elif info is not None:
+            print(f"domains: declined ({info.declined})")
+        if stats.domain_pruned or stats.domain_rules_skipped:
+            print(
+                f"domains: grounder pruned {stats.domain_pruned} "
+                f"candidate(s), skipped {stats.domain_rules_skipped} "
+                f"dead rule(s)"
+            )
     if lint_report is not None:
         print(
             f"lint: {stats.lint_errors} error(s), {stats.lint_warnings} "

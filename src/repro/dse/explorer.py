@@ -353,6 +353,22 @@ class DseStatistics:
     symmetry_constraints: int = 0
     #: Wall seconds of automorphism detection + constraint synthesis.
     symmetry_seconds: float = 0.0
+    #: Domain-analysis summary ("" when encode() ran with
+    #: domain_bounds="off" and grounding ran with domain_prune off).
+    domain_mode: str = ""
+    #: Whether inferred objective intervals seeded the interval store.
+    domain_applied: bool = False
+    #: Predicates whose argument domains the analysis inferred.
+    domain_predicates: int = 0
+    #: Widening steps taken on recursive components.
+    domain_widenings: int = 0
+    #: Candidate substitutions rejected by domain pre-filters while
+    #: grounding (eager guards + per-variable domain checks).
+    domain_pruned: int = 0
+    #: Rules the grounder skipped entirely as provably dead.
+    domain_rules_skipped: int = 0
+    #: Wall seconds of domain analysis (encode-time + ground-time).
+    domain_seconds: float = 0.0
     #: Per-worker breakdowns (parallel exploration only; empty otherwise).
     per_worker: List[Dict[str, object]] = field(default_factory=list)
 
@@ -426,6 +442,13 @@ class DseResult:
                 "symmetry_orbits": self.statistics.symmetry_orbits,
                 "symmetry_constraints": self.statistics.symmetry_constraints,
                 "symmetry_seconds": self.statistics.symmetry_seconds,
+                "domain_mode": self.statistics.domain_mode,
+                "domain_applied": self.statistics.domain_applied,
+                "domain_predicates": self.statistics.domain_predicates,
+                "domain_widenings": self.statistics.domain_widenings,
+                "domain_pruned": self.statistics.domain_pruned,
+                "domain_rules_skipped": self.statistics.domain_rules_skipped,
+                "domain_seconds": self.statistics.domain_seconds,
                 "per_worker": list(self.statistics.per_worker),
             },
         }
@@ -488,6 +511,19 @@ class ExactParetoExplorer:
         self.instance = instance
         self.epsilon = epsilon
         self.linear = LinearPropagator()
+        # Seed the interval store with the encode-time inferred objective
+        # bounds (sound over-approximations; &dom constraints only ever
+        # tighten them further, so the front is unchanged).
+        domain = getattr(instance, "domain", None)
+        if domain is not None and domain.applied:
+            for objective in instance.objectives:
+                if objective.kind != "var" or objective.variable is None:
+                    continue
+                interval = domain.bounds.get(str(objective.variable))
+                if interval is not None:
+                    self.linear.store.add_var(
+                        objective.variable, interval[0], interval[1]
+                    )
         archive_impl = QuadTreeArchive() if archive == "quadtree" else ListArchive()
         if epsilon:
             from repro.dse.approximation import EpsilonArchive
@@ -716,6 +752,17 @@ class ExactParetoExplorer:
         if grounding is not None:
             stats.instantiations = grounding.instantiations
             stats.delta_rounds = grounding.delta_rounds
+            if grounding.domain_prune:
+                stats.domain_mode = stats.domain_mode or "prune"
+                stats.domain_predicates = max(
+                    stats.domain_predicates, grounding.domain_predicates
+                )
+                stats.domain_widenings = max(
+                    stats.domain_widenings, grounding.domain_widenings
+                )
+                stats.domain_pruned = grounding.pruned_instances
+                stats.domain_rules_skipped = grounding.rules_skipped
+                stats.domain_seconds += grounding.domain_seconds
         stats.lint_seconds = self.control.lint_seconds
         report = self.control.lint_report
         if report is not None:
@@ -731,6 +778,17 @@ class ExactParetoExplorer:
             stats.symmetry_orbits = symmetry.orbits
             stats.symmetry_constraints = symmetry.constraints
             stats.symmetry_seconds = symmetry.seconds
+        domain = getattr(self.instance, "domain", None)
+        if domain is not None:
+            stats.domain_mode = domain.mode
+            stats.domain_applied = domain.applied
+            stats.domain_predicates = max(
+                stats.domain_predicates, domain.predicates
+            )
+            stats.domain_widenings = max(
+                stats.domain_widenings, domain.widenings
+            )
+            stats.domain_seconds += domain.seconds
         return stats
 
     def run(self) -> DseResult:
@@ -787,6 +845,7 @@ def explore(
     jobs: int = 1,
     split_depth: Optional[int] = None,
     symmetry: str = "off",
+    domain_bounds: str = "off",
     **kwargs,
 ) -> DseResult:
     """Convenience one-call API: encode and explore ``spec``.
@@ -798,8 +857,13 @@ def explore(
     ``symmetry`` is forwarded to :func:`~repro.synthesis.encoding.encode`
     (``"on"``/``"auto"`` add lex-leader platform symmetry breaking; the
     front of objective vectors is unchanged — see docs/SYMMETRY.md).
+    ``domain_bounds`` likewise forwards to ``encode`` and seeds the
+    theory interval store with statically inferred objective bounds
+    (the front is unchanged — see docs/DOMAINS.md).
     """
-    instance = encode(spec, objectives=objectives, symmetry=symmetry)
+    instance = encode(
+        spec, objectives=objectives, symmetry=symmetry, domain_bounds=domain_bounds
+    )
     if jobs > 1 or split_depth is not None:
         from repro.dse.parallel import ParallelParetoExplorer
 

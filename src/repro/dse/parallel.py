@@ -796,6 +796,15 @@ class ParallelParetoExplorer:
             stats.symmetry_orbits = symmetry.orbits
             stats.symmetry_constraints = symmetry.constraints
             stats.symmetry_seconds = symmetry.seconds
+        # So is the domain analysis: the encode-time info is shared, the
+        # grounding counters come from the parent's (single) grounding.
+        domain = getattr(self.instance, "domain", None)
+        if domain is not None:
+            stats.domain_mode = domain.mode
+            stats.domain_applied = domain.applied
+            stats.domain_predicates = domain.predicates
+            stats.domain_widenings = domain.widenings
+            stats.domain_seconds += domain.seconds
         # Grounding happened (at most) once, in the parent; the workers
         # reused the shipped artifact, so their counts stay at zero.
         parent_ground = getattr(self, "_parent_ground", None)
@@ -807,6 +816,18 @@ class ParallelParetoExplorer:
                 stats.delta_rounds = parent_ground.grounding.delta_rounds
                 if not self._parent_cache_hit:
                     stats.grounding_seconds = parent_ground.grounding.seconds
+                grounding = parent_ground.grounding
+                if grounding.domain_prune:
+                    stats.domain_mode = stats.domain_mode or "prune"
+                    stats.domain_predicates = max(
+                        stats.domain_predicates, grounding.domain_predicates
+                    )
+                    stats.domain_widenings = max(
+                        stats.domain_widenings, grounding.domain_widenings
+                    )
+                    stats.domain_pruned = grounding.pruned_instances
+                    stats.domain_rules_skipped = grounding.rules_skipped
+                    stats.domain_seconds += grounding.domain_seconds
         for report in ordered:
             wid = report["worker"]
             inner = report["statistics"]

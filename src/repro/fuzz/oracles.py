@@ -22,6 +22,7 @@ oracle                input    compared paths
 ``rename``            spec     task/resource renaming leaves the front invariant
 ``solver-core``       any      flat vs reference CDNL core (models and fronts)
 ``symmetry-front``    spec     lex-leader symmetry breaking leaves the front invariant
+``domain-soundness``  program  derived atoms lie in inferred domains; pruning is inert
 ====================  =======  ==================================================
 """
 
@@ -546,6 +547,51 @@ class SymmetryFrontOracle(Oracle):
             )
 
 
+class DomainSoundnessOracle(Oracle):
+    """The abstract domain analysis over-approximates the grounder.
+
+    Two checks (the contract in ``docs/DOMAINS.md``): every atom the
+    unpruned grounder derives as possible must be contained in the
+    inferred per-position domains, and grounding with domain pruning on
+    must emit an identical :class:`GroundProgram` (rules, possible and
+    fact universes) — pruning may only skip work, never change output.
+    """
+
+    name = "domain-soundness"
+    kind = "program"
+
+    def check(self, input: ProgramInput) -> None:
+        from repro.analysis.domains import analyze_program
+        from repro.asp.grounder import Grounder
+        from repro.asp.parser import parse_program
+
+        try:
+            parsed = parse_program(input.text)
+        except ParseError:
+            raise Skip("program does not parse")
+        try:
+            plain = Grounder(parsed, domain_prune=False)
+            plain_rules = plain.ground()
+        except Exception:
+            raise Skip("program does not ground")
+        analysis = analyze_program(parsed)
+        escaped = analysis.violations(plain.possible_atoms)
+        if escaped:
+            self.diverge(
+                f"derived atoms escape the inferred domains: "
+                f"{sorted(str(atom) for atom in escaped)[:5]}"
+            )
+        pruned = Grounder(parse_program(input.text), domain_prune=True)
+        pruned_rules = pruned.ground()
+        if {str(r) for r in plain_rules} != {str(r) for r in pruned_rules}:
+            self.diverge("domain pruning changed the ground rule set")
+        if (
+            plain.possible_atoms != pruned.possible_atoms
+            or plain.fact_atoms != pruned.fact_atoms
+        ):
+            self.diverge("domain pruning changed the atom universe")
+
+
 #: Registry, in documentation order.
 ORACLES: Dict[str, Oracle] = {
     oracle.name: oracle
@@ -560,6 +606,7 @@ ORACLES: Dict[str, Oracle] = {
         RenameOracle(),
         SolverCoreOracle(),
         SymmetryFrontOracle(),
+        DomainSoundnessOracle(),
     )
 }
 

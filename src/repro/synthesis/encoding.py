@@ -95,6 +95,9 @@ class EncodedInstance:
     #: What ``encode(symmetry=...)`` did (a
     #: :class:`repro.analysis.symmetry.SymmetryInfo`); None when off.
     symmetry: Optional[object] = None
+    #: What ``encode(domain_bounds=...)`` did (a
+    #: :class:`repro.analysis.domains.DomainInfo`); None when off.
+    domain: Optional[object] = None
 
     def objective(self, name: str) -> ObjectiveSpec:
         for spec in self.objectives:
@@ -305,6 +308,7 @@ def encode(
     link_contention: bool = False,
     lint: bool = False,
     symmetry: str = "off",
+    domain_bounds: str = "off",
 ) -> EncodedInstance:
     """Encode ``spec`` as an ASPmT program plus objective declarations.
 
@@ -330,12 +334,25 @@ def encode(
     nothing.  The Pareto front *of objective vectors* is identical with
     breaking on or off (symmetric mappings share their vector); only
     the witness implementations and the search effort change.
+    ``domain_bounds`` runs the abstract domain analysis
+    (:mod:`repro.analysis.domains`) over the finished program and
+    attaches sound initial intervals for the ``var`` objectives
+    (``latency``/``period``) as :attr:`EncodedInstance.domain` — the
+    explorer seeds its interval store with them.  ``"on"`` requires the
+    analysis to succeed, ``"auto"`` declines gracefully, ``"off"``
+    (the default) analyzes nothing.  The bounds are sound
+    over-approximations, so the Pareto front is identical with the
+    seeding on or off; only propagation effort changes.
     """
     if routing not in ("free", "fixed"):
         raise ValueError(f"unknown routing mode {routing!r}")
     if symmetry not in ("off", "on", "auto"):
         raise ValueError(
             f"unknown symmetry mode {symmetry!r}; have off, on, auto"
+        )
+    if domain_bounds not in ("off", "on", "auto"):
+        raise ValueError(
+            f"unknown domain_bounds mode {domain_bounds!r}; have off, on, auto"
         )
     if symmetry == "on" and routing == "fixed":
         raise ValueError(
@@ -384,14 +401,22 @@ def encode(
     symmetry_info = None
     if symmetry != "off":
         symmetry_info = _apply_symmetry(spec, symmetry, routing, parts)
+    program = "\n".join(parts)
+    objective_specs = _objective_specs(spec, objectives)
+    domain_info = None
+    if domain_bounds != "off":
+        domain_info = _apply_domain_bounds(
+            spec, domain_bounds, program, objective_specs
+        )
     return EncodedInstance(
         specification=spec,
-        program="\n".join(parts),
-        objectives=_objective_specs(spec, objectives),
+        program=program,
+        objectives=objective_specs,
         horizon=h,
         serialize=serialize,
         link_contention=link_contention,
         symmetry=symmetry_info,
+        domain=domain_info,
     )
 
 
@@ -431,4 +456,56 @@ def _apply_symmetry(spec: Specification, mode: str, routing: str, parts: List[st
         constraints=constraints,
         seconds=perf_counter() - started,
         declined=declined,
+    )
+
+
+def _apply_domain_bounds(
+    spec: Specification,
+    mode: str,
+    program: str,
+    objectives: Sequence[ObjectiveSpec],
+):
+    """Run the domain analysis over the finished program and collect
+    sound initial intervals for the ``var`` objectives."""
+    import dataclasses
+
+    from repro.analysis.domains import DomainInfo, analyze_program
+    from repro.asp.parser import parse_program
+
+    try:
+        analysis = analyze_program(parse_program(program))
+    except Exception as error:
+        if mode == "on":
+            raise ValueError(
+                f"domain_bounds='on': domain analysis failed: {error}"
+            ) from error
+        return DomainInfo(mode=mode, applied=False, declined=str(error))
+    info = analysis.info(mode=mode, applied=False)
+    # Scheduling floor: every task runs somewhere, so both latency and
+    # the busiest-resource period are at least the largest per-task
+    # minimum wcet over that task's mapping options.
+    best_wcet: Dict[str, int] = {}
+    for option in spec.mappings:
+        current = best_wcet.get(option.task)
+        if current is None or option.wcet < current:
+            best_wcet[option.task] = option.wcet
+    floor = max(best_wcet.values(), default=0)
+    bounds: Dict[str, Tuple[int, int]] = {}
+    for objective in objectives:
+        if objective.kind != "var" or objective.variable is None:
+            continue
+        name = str(objective.variable)
+        interval = info.bounds.get(name)
+        if interval is None:
+            continue
+        lo, hi = interval
+        lo = max(lo, floor)
+        if objective.max_value:
+            hi = min(hi, objective.max_value)
+        if lo > hi:
+            continue  # statically infeasible — leave it to the solver
+        bounds[name] = (lo, hi)
+    declined = None if bounds else "no var-objective intervals inferred"
+    return dataclasses.replace(
+        info, applied=bool(bounds), bounds=bounds, declined=declined
     )

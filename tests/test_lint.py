@@ -180,6 +180,88 @@ class TestRenderAndExitCodes:
         capsys.readouterr()
 
 
+GOLDEN_TEXT = (
+    "q(1..3).\n"
+    "r(X) :- q(X), X > 9.\n"
+    "dup(X) :- q(X).\n"
+    "dup(Y) :- q(Y).\n"
+    "s(Z) :- ghost(Z).\n"
+)
+
+
+class TestGoldenJsonSchema:
+    """Pin the ``--format=json`` schema against a checked-in golden file.
+
+    Renaming or removing report/diagnostic keys is a breaking change
+    for CI consumers; this test makes it an explicit one.
+    """
+
+    def test_json_report_matches_golden(self):
+        report = lint_text(GOLDEN_TEXT, filename="golden.lp")
+        payload = json.loads(report.render("json"))
+        payload["seconds"] = 0.0  # the only run-dependent field
+        with open(os.path.join(LINT_CORPUS, "golden_report.json")) as handle:
+            golden = json.load(handle)
+        assert payload == golden
+
+    def test_top_level_keys_are_stable(self):
+        payload = json.loads(lint_text("a.").render("json"))
+        assert sorted(payload) == [
+            "diagnostics",
+            "errors",
+            "files",
+            "infos",
+            "seconds",
+            "suppressed",
+            "warnings",
+        ]
+
+
+class TestSarifExport:
+    def test_minimal_valid_sarif(self):
+        report = lint_text(GOLDEN_TEXT, filename="golden.lp")
+        doc = json.loads(report.render("sarif"))
+        assert doc["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        (run,) = doc["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        rule_ids = [rule["id"] for rule in driver["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        assert len(run["results"]) == len(report.diagnostics)
+
+    def test_results_reference_rules_and_locations(self):
+        report = lint_text(GOLDEN_TEXT, filename="golden.lp")
+        doc = json.loads(report.render("sarif"))
+        (run,) = doc["runs"]
+        rules = run["tool"]["driver"]["rules"]
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+            location = result["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"] == "golden.lp"
+            assert location["region"]["startLine"] >= 1
+
+    def test_severity_mapping(self):
+        report = lint_text(
+            "p(X) :- not q(X).\nq(1..3).\ndup(Y) :- q(Y).\ndup(Z) :- q(Z).\n"
+        )
+        doc = json.loads(report.render("sarif"))
+        levels = {
+            result["ruleId"]: result["level"]
+            for result in doc["runs"][0]["results"]
+        }
+        assert levels["unsafe-variable"] == "error"
+        assert levels["duplicate-rule"] == "note"
+
+    def test_cli_sarif_format(self, tmp_path, capsys):
+        program = tmp_path / "prog.lp"
+        program.write_text(GOLDEN_TEXT)
+        lint_main([str(program), "--format=sarif"])
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"]
+
+
 class TestControlHook:
     def test_lint_warn_emits_warnings(self):
         control = Control()
