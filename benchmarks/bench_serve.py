@@ -1,0 +1,209 @@
+"""Load/soak driver for the DSE serving layer.
+
+Builds a seeded, duplicate-heavy request stream from the fuzz spec
+generators (``repro.fuzz.generators``): a handful of distinct admissible
+specifications, each appearing many times — half of the repeats as
+renamed isomorphic twins, the way real clients resubmit the same design
+under their own naming schemes.  A fixed pool of concurrent JSON-lines
+clients drives the stream through a live server and measures per-request
+latency.
+
+Asserted floors (the PR-10 acceptance criteria; also enforced in CI's
+30-second soak):
+
+* zero protocol errors and zero failed requests,
+* cache hit rate (cache hits + coalesced joins, over all requests)
+  >= 0.5 on the duplicate-heavy stream,
+* request coalescing verified: ``solves_started`` strictly below the
+  request count.
+
+Latency percentiles are recorded, not asserted (machine-dependent).
+Numbers land in ``BENCH_serve.json`` next to the repository root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py            # quick
+    PYTHONPATH=src python benchmarks/bench_serve.py --soak 30  # CI soak
+"""
+
+import argparse
+import asyncio
+import json
+import random
+from collections import deque
+from pathlib import Path
+from time import monotonic, perf_counter
+
+from repro.fuzz.generators import generate_spec
+from repro.fuzz.oracles import _rename_spec
+from repro.serve import DseServer, ServeClient, ServerConfig
+from repro.serve.admission import admit
+from repro.synthesis.io import specification_to_dict
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+#: Keep individual solves snappy so the benchmark exercises the serving
+#: layer, not the solver.
+MAX_BINDING_SPACE = 64
+
+
+def build_workload(distinct: int, requests: int, seed: int):
+    """A deterministic duplicate-heavy request stream."""
+    rng = random.Random(f"bench-serve-{seed}")
+    pool = []
+    candidate = 0
+    while len(pool) < distinct and candidate < 2000:
+        spec_input = generate_spec(candidate)
+        candidate += 1
+        spec = spec_input.specification
+        if spec.binding_space_size() > MAX_BINDING_SPACE:
+            continue
+        if not admit(spec, spec_input.objectives).admitted:
+            continue
+        pool.append(spec_input)
+    if len(pool) < distinct:
+        raise RuntimeError("not enough admissible generated specs")
+    stream = []
+    for _ in range(requests):
+        spec_input = rng.choice(pool)
+        spec = spec_input.specification
+        if rng.random() < 0.5:
+            # Renamed isomorphic twin: must hit the same cache entry.
+            spec = _rename_spec(spec, f"x{rng.randrange(3)}")
+        stream.append(
+            {
+                "spec": specification_to_dict(spec),
+                "objectives": list(spec_input.objectives),
+                "options": {"latency_bound": spec_input.latency_bound},
+            }
+        )
+    return stream
+
+
+async def drive(stream, concurrency: int, soak_seconds: float):
+    server = DseServer(
+        ServerConfig(port=0, solve_workers=2, cache_size=256)
+    )
+    host, port = await server.start()
+    pending = deque(stream)
+    deadline = None if soak_seconds <= 0 else monotonic() + soak_seconds
+    latencies = []
+    failures = []
+
+    async def client_loop():
+        client = await ServeClient.connect(host, port)
+        try:
+            while True:
+                if deadline is not None and monotonic() >= deadline:
+                    break
+                try:
+                    request = pending.popleft()
+                except IndexError:
+                    if deadline is None:
+                        break
+                    pending.extend(stream)  # soak: replay the stream
+                    continue
+                started = perf_counter()
+                try:
+                    outcome = await client.solve(
+                        request["spec"],
+                        objectives=request["objectives"],
+                        options=request["options"],
+                    )
+                    if not outcome.ok:
+                        failures.append(str(outcome.cancelled or outcome.error))
+                except Exception as error:  # protocol-level failure
+                    failures.append(f"{type(error).__name__}: {error}")
+                latencies.append(perf_counter() - started)
+        finally:
+            await client.close()
+
+    started = monotonic()
+    await asyncio.gather(*(client_loop() for _ in range(concurrency)))
+    elapsed = monotonic() - started
+    stats = server.stats()
+    await server.shutdown()
+    return latencies, failures, stats, elapsed
+
+
+def percentile(values, fraction: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--distinct", type=int, default=6)
+    parser.add_argument("--requests", type=int, default=80)
+    parser.add_argument("--concurrency", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--soak",
+        type=float,
+        default=0.0,
+        help="run for this many seconds, replaying the stream (0 = one pass)",
+    )
+    args = parser.parse_args(argv)
+
+    stream = build_workload(args.distinct, args.requests, args.seed)
+    latencies, failures, stats, elapsed = asyncio.run(
+        drive(stream, args.concurrency, args.soak)
+    )
+
+    counters = stats["counters"]
+    requests = counters["requests"]
+    hits = counters["cache_hits"] + counters["coalesced"]
+    hit_rate = hits / requests if requests else 0.0
+    report = {
+        "workload": {
+            "distinct_specs": args.distinct,
+            "stream_length": args.requests,
+            "concurrency": args.concurrency,
+            "seed": args.seed,
+            "soak_seconds": args.soak,
+        },
+        "requests": requests,
+        "completed": len(latencies),
+        "elapsed_seconds": round(elapsed, 3),
+        "throughput_rps": round(len(latencies) / elapsed, 2) if elapsed else 0.0,
+        "latency_ms": {
+            "p50": round(percentile(latencies, 0.50) * 1000, 2),
+            "p95": round(percentile(latencies, 0.95) * 1000, 2),
+            "max": round(max(latencies) * 1000, 2) if latencies else 0.0,
+        },
+        "cache_hit_rate": round(hit_rate, 4),
+        "solves_started": counters["solves_started"],
+        "counters": counters,
+        "cache": stats["cache"],
+        "failures": len(failures),
+        "floors": {
+            "protocol_errors": 0,
+            "failures": 0,
+            "min_cache_hit_rate": 0.5,
+            "solves_strictly_below_requests": True,
+        },
+    }
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+    problems = []
+    if failures:
+        problems.append(f"{len(failures)} failed requests: {failures[:3]}")
+    if counters["protocol_errors"]:
+        problems.append(f"{counters['protocol_errors']} protocol errors")
+    if hit_rate < 0.5:
+        problems.append(f"cache hit rate {hit_rate:.2f} below the 0.5 floor")
+    if not counters["solves_started"] < requests:
+        problems.append("coalescing unverified: solves_started >= requests")
+    if problems:
+        print("FLOOR VIOLATIONS:\n  " + "\n  ".join(problems))
+        return 1
+    OUTPUT.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {OUTPUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

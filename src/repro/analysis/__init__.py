@@ -11,7 +11,10 @@ specification/objective validator for the synthesis layer
 (``repro.analysis.spec``), and a platform symmetry analyzer — a
 colored-graph automorphism engine (``repro.analysis.graph``) plus
 lex-leader constraint synthesis over ``bind/2`` atoms
-(``repro.analysis.symmetry``, see ``docs/SYMMETRY.md``).  Findings are
+(``repro.analysis.symmetry``, see ``docs/SYMMETRY.md``), and a
+renaming-invariant specification canonicalizer powering the serving
+layer's result cache (``repro.analysis.canonical``, see
+``docs/SERVING.md``).  Findings are
 structured
 :class:`~repro.analysis.diagnostics.Diagnostic` values suitable for
 text or JSON output and CI gating; see ``docs/LINT.md`` for the rule
@@ -27,6 +30,13 @@ Entry points::
     assert report.errors == 0
 """
 
+from repro.analysis.canonical import (
+    CanonicalSpec,
+    canonical_digest,
+    canonicalize_specification,
+    invert_name_map,
+    remap_front_entry,
+)
 from repro.analysis.diagnostics import (
     Diagnostic,
     LintError,
@@ -82,4 +92,9 @@ __all__ = [
     "analyze_program",
     "analyze_rules",
     "canonical_rule",
+    "CanonicalSpec",
+    "canonical_digest",
+    "canonicalize_specification",
+    "invert_name_map",
+    "remap_front_entry",
 ]

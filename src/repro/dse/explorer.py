@@ -791,16 +791,47 @@ class ExactParetoExplorer:
             stats.domain_seconds += domain.seconds
         return stats
 
-    def run(self) -> DseResult:
-        """Enumerate the exact Pareto front."""
+    def run(
+        self,
+        on_point=None,
+        should_stop=None,
+        resume_on_interrupt: bool = False,
+    ) -> DseResult:
+        """Enumerate the exact Pareto front.
+
+        ``on_point`` is the anytime snapshot hook: it is called with
+        every newly enumerated :class:`ParetoPoint` the moment the
+        archive accepts it, so a serving layer can stream front
+        snapshots while the search refines (the paper's dominance
+        propagator tightens the front incrementally; the hook exposes
+        exactly those increments).
+
+        ``should_stop`` is polled between solver calls; returning a
+        truthy value ends the run early with ``interrupted=True``
+        statistics and the best front found so far — the cooperative
+        cancellation/timeout primitive of ``repro.serve``.
+
+        ``resume_on_interrupt=True`` reinterprets ``conflict_limit`` as
+        a *chunk* size instead of a total budget: an interrupted solver
+        call is simply resumed (learned clauses and the archive
+        persist), so ``should_stop`` gets a look-in at least every
+        ``conflict_limit`` conflicts even deep inside an UNSAT proof.
+        """
         self.ground()
         stats = DseStatistics()
         started = time.perf_counter()
         models_before = self.models_enumerated
         assumptions = self.bind_assumptions(self._fixed_bindings)
         while True:
-            status, _point = self.solve_step(assumptions)
+            if should_stop is not None and should_stop():
+                stats.interrupted = True
+                break
+            status, point = self.solve_step(assumptions)
             if status == "model":
+                if on_point is not None and point is not None:
+                    on_point(point)
+                continue
+            if status == "interrupted" and resume_on_interrupt:
                 continue
             stats.interrupted = status == "interrupted"
             break

@@ -339,7 +339,9 @@ def _worker_main(
     """Process entry point: execute cubes the parent hands over.
 
     Commands: ``("cube", bindings)`` begins a cube, ``("delta", blob)``
-    injects a foreign archive delta, ``("stop",)`` ends the loop.
+    injects a foreign archive delta, ``("cancel",)`` abandons the
+    current cube and ends the loop (cooperative cancellation),
+    ``("stop",)`` ends the loop once the current cube finishes.
     Results: ``("delta", wid, blob)`` publishes new points,
     ``("next", wid)`` requests another cube, ``("resplit", wid, cube)``
     hands an over-budget cube back, ``("halt", wid)`` reports an
@@ -389,6 +391,14 @@ def _worker_main(
                         runner.inject_vectors(
                             ArchiveDelta.from_bytes(command[1]).vectors
                         )
+                elif kind == "cancel":
+                    # Cooperative cancellation: drop the cube mid-proof
+                    # (its points so far are already flushed or in the
+                    # buffer) and close the worker.
+                    if runner.current is not None:
+                        runner.interrupted = True
+                        runner.current = None
+                    stopping = True
                 else:  # "stop"
                     stopping = True
             if runner.current is None:
@@ -523,11 +533,23 @@ class ParallelParetoExplorer:
             steal_order=self.steal_order,
         )
 
-    def run(self) -> DseResult:
+    def run(self, on_points=None, should_stop=None) -> DseResult:
+        """Run the parallel exploration; returns the merged exact front.
+
+        ``on_points`` is the anytime snapshot hook of the serving
+        layer: it is called (in the coordinating process/loop) with
+        every batch of newly published objective vectors, i.e. exactly
+        the :class:`ArchiveDelta` increments the workers exchange.
+        ``should_stop`` is polled between scheduling steps; returning a
+        truthy value cancels the run cooperatively — workers abandon
+        their cubes within one conflict chunk, partial fronts are
+        merged, and the result reports ``interrupted=True``.
+        """
         started = perf_counter()
         cubes = self.cubes()
         jobs = max(1, min(self.jobs, len(cubes)))
         scheduler = self._scheduler(cubes, jobs)
+        self._cancelled = False
         # Ground once in the parent and ship the artifact: the workers
         # reuse it instead of re-instantiating the same program each.
         ground, cache_hit = _ground_text_cached(
@@ -538,9 +560,13 @@ class ParallelParetoExplorer:
         self._parent_ground = ground
         self._parent_cache_hit = cache_hit
         if self.backend == "inline":
-            reports = self._run_inline(scheduler, jobs, ground)
+            reports = self._run_inline(
+                scheduler, jobs, ground, on_points, should_stop
+            )
         else:
-            reports = self._run_processes(scheduler, jobs, ground)
+            reports = self._run_processes(
+                scheduler, jobs, ground, on_points, should_stop
+            )
         return self._merge(scheduler, reports, perf_counter() - started)
 
     def _branch_tasks(self) -> Tuple[str, ...]:
@@ -554,7 +580,12 @@ class ParallelParetoExplorer:
     # -- backends ----------------------------------------------------------------
 
     def _run_inline(
-        self, scheduler: CubeScheduler, jobs: int, ground: GroundProgram
+        self,
+        scheduler: CubeScheduler,
+        jobs: int,
+        ground: GroundProgram,
+        on_points=None,
+        should_stop=None,
     ) -> Dict[int, Dict[str, object]]:
         """Deterministic round-robin over in-process workers."""
         branch_tasks = self._branch_tasks()
@@ -582,6 +613,8 @@ class ParallelParetoExplorer:
             blob = ArchiveDelta(buffers[wid]).to_bytes()
             runners[wid].delta_bytes += len(blob)
             scheduler.observe(buffers[wid])
+            if on_points is not None:
+                on_points(list(buffers[wid]))
             if self.share_archive:
                 for other in range(jobs):
                     if other != wid and other not in halted:
@@ -593,6 +626,14 @@ class ParallelParetoExplorer:
             if cube is not None:
                 runners[wid].begin(cube)
         while True:
+            if should_stop is not None and should_stop():
+                self._cancelled = True
+                for wid, runner in enumerate(runners):
+                    flush(wid)
+                    if runner.current is not None:
+                        runner.interrupted = True
+                        runner.current = None
+                break
             progressed = False
             for wid, runner in enumerate(runners):
                 if wid in halted:
@@ -626,7 +667,12 @@ class ParallelParetoExplorer:
         return {wid: runner.report(wid) for wid, runner in enumerate(runners)}
 
     def _run_processes(
-        self, scheduler: CubeScheduler, jobs: int, ground: GroundProgram
+        self,
+        scheduler: CubeScheduler,
+        jobs: int,
+        ground: GroundProgram,
+        on_points=None,
+        should_stop=None,
     ) -> Dict[int, Dict[str, object]]:
         """One process per worker; the parent schedules and brokers."""
         import multiprocessing
@@ -705,10 +751,24 @@ class ParallelParetoExplorer:
         for wid in range(jobs):
             dispatch(wid)
         maybe_stop()
+        def cancel_all() -> None:
+            self._cancelled = True
+            for wid in range(jobs):
+                if wid not in stopped:
+                    command_queues[wid].put(("cancel",))
+                    stopped.add(wid)
+
         try:
             while pending:
+                if (
+                    not self._cancelled
+                    and should_stop is not None
+                    and should_stop()
+                ):
+                    cancel_all()
                 try:
-                    message = result_queue.get(timeout=1.0)
+                    timeout = 0.1 if should_stop is not None else 1.0
+                    message = result_queue.get(timeout=timeout)
                 except queue.Empty:
                     for wid in pending:
                         if not processes[wid].is_alive():
@@ -721,8 +781,11 @@ class ParallelParetoExplorer:
                 if kind == "delta":
                     blob = message[2]
                     delta_bytes += len(blob)
-                    scheduler.observe(ArchiveDelta.from_bytes(blob).vectors)
-                    if self.share_archive:
+                    vectors = ArchiveDelta.from_bytes(blob).vectors
+                    scheduler.observe(vectors)
+                    if on_points is not None:
+                        on_points(list(vectors))
+                    if self.share_archive and not self._cancelled:
                         for other in pending:
                             if other != wid and other not in stopped:
                                 command_queues[other].put(("delta", blob))
@@ -734,7 +797,9 @@ class ParallelParetoExplorer:
                     maybe_stop()
                 elif kind == "resplit":
                     executing[wid] = False
-                    if scheduler.resplit(wid, message[2]) == 0:
+                    if self._cancelled:
+                        pass  # the worker is already winding down
+                    elif scheduler.resplit(wid, message[2]) == 0:
                         # No binding level left (defensive; the worker
                         # checks splittability first): hand it back.
                         command_queues[wid].put(("cube", message[2]))
@@ -782,6 +847,7 @@ class ParallelParetoExplorer:
         merged = non_dominated_union(*(report["front"] for report in ordered))
         stats = DseStatistics()
         stats.wall_time = wall_time
+        stats.interrupted = getattr(self, "_cancelled", False)
         stats.epsilon = self.epsilon
         stats.pareto_points = len(merged)
         stats.steals = sum(scheduler.steals)

@@ -23,6 +23,8 @@ oracle                input    compared paths
 ``solver-core``       any      flat vs reference CDNL core (models and fronts)
 ``symmetry-front``    spec     lex-leader symmetry breaking leaves the front invariant
 ``domain-soundness``  program  derived atoms lie in inferred domains; pruning is inert
+``serve-cache``       spec     canonical digests identify renamed twins; remapped
+                               witnesses stay valid; perturbations change the digest
 ====================  =======  ==================================================
 """
 
@@ -593,6 +595,103 @@ class DomainSoundnessOracle(Oracle):
 
 
 #: Registry, in documentation order.
+class ServeCacheOracle(Oracle):
+    """The serving layer's cache identity is sound and complete enough.
+
+    The metamorphic twin of the ``rename`` oracle, lifted to the cache
+    key level (:mod:`repro.analysis.canonical` + :mod:`repro.serve.cache`):
+
+    * an order-scrambling rename of every task/resource/link must keep
+      the canonical digest — and hence the cache key — unchanged
+      (renamed twins coalesce onto one entry);
+    * every front witness, remapped original -> canonical -> twin
+      namespace the way a cache hit is served, must still validate
+      against the renamed specification with identical objectives;
+    * bumping a single WCET must change the digest (the mutation always
+      changes the mapping-edge multiset, so a collision here would be a
+      certificate bug — the "no false cache hits" direction).
+    """
+
+    name = "serve-cache"
+    kind = "spec"
+
+    def check(self, input: SpecInput) -> None:
+        from repro.analysis.canonical import (
+            canonicalize_specification,
+            invert_name_map,
+            remap_front_entry,
+        )
+        from repro.serve.cache import make_cache_key
+        from repro.synthesis.solution import Implementation, validate
+
+        spec = input.specification
+        renamed = _rename_spec(spec, "q")
+        original = canonicalize_specification(spec)
+        twin = canonicalize_specification(renamed)
+        if not (original.exact and twin.exact):
+            raise Skip("canonical leaf budget exhausted")
+        options = {"latency_bound": input.latency_bound}
+        key = make_cache_key(original.digest, input.objectives, options)
+        twin_key = make_cache_key(twin.digest, input.objectives, options)
+        if key != twin_key:
+            self.diverge(
+                f"cache key changed under renaming: digest "
+                f"{original.digest[:16]} != {twin.digest[:16]}"
+            )
+
+        instance = encode(
+            spec,
+            objectives=input.objectives,
+            latency_bound=input.latency_bound,
+        )
+        result = ExactParetoExplorer(instance, validate_models=False).run()
+        forward = (
+            original.task_map,
+            original.resource_map,
+            original.message_map,
+            original.link_map,
+        )
+        inverse = tuple(
+            invert_name_map(mapping)
+            for mapping in (
+                twin.task_map,
+                twin.resource_map,
+                twin.message_map,
+                twin.link_map,
+            )
+        )
+        for entry in result.to_dict()["front"]:
+            canonical_entry = remap_front_entry(entry, *forward)
+            served = remap_front_entry(canonical_entry, *inverse)
+            if served["vector"] != entry["vector"]:
+                self.diverge("objective vector changed under remapping")
+            implementation = Implementation(
+                binding=dict(served["binding"]),
+                routes={m: list(r) for m, r in served["routes"].items()},
+                schedule=dict(served["schedule"]),
+                objectives=dict(served["objective_values"]),
+            )
+            problems = validate(renamed, implementation)
+            if problems:
+                self.diverge(
+                    f"remapped witness invalid for the renamed twin: "
+                    f"{problems[:3]}"
+                )
+
+        mutated = Specification(
+            spec.application,
+            spec.architecture,
+            (replace(spec.mappings[0], wcet=spec.mappings[0].wcet + 1),)
+            + spec.mappings[1:],
+        )
+        perturbed = canonicalize_specification(mutated)
+        if perturbed.digest == original.digest:
+            self.diverge(
+                "digest collision: a WCET perturbation kept the canonical "
+                "digest (false cache hit)"
+            )
+
+
 ORACLES: Dict[str, Oracle] = {
     oracle.name: oracle
     for oracle in (
@@ -607,6 +706,7 @@ ORACLES: Dict[str, Oracle] = {
         SolverCoreOracle(),
         SymmetryFrontOracle(),
         DomainSoundnessOracle(),
+        ServeCacheOracle(),
     )
 }
 

@@ -1,0 +1,52 @@
+"""DSE-as-a-service: asyncio serving layer for the exact explorer.
+
+``repro.serve`` turns the library into a long-running service (see
+``docs/SERVING.md``):
+
+* **Protocol** — newline-delimited JSON over TCP, plus a minimal HTTP
+  facade for curl-style probes (:mod:`repro.serve.protocol`).
+* **Admission** — the spec validator triages every request before it
+  can reach the solve queue; error-severity findings are rejected with
+  their diagnostics (:mod:`repro.serve.admission`).
+* **Dedup** — requests are canonicalized
+  (:mod:`repro.analysis.canonical`) so renamed/reordered twins share
+  one bounded-LRU cache slot, and in-flight coalescing makes N
+  identical concurrent solves cost one (:mod:`repro.serve.cache`).
+* **Anytime streaming** — subscribed clients receive archive snapshots
+  (:class:`repro.dse.scheduler.ArchiveDelta` blobs) while workers
+  refine the front; the final message carries the exact front and full
+  statistics (:mod:`repro.serve.server`).
+
+Run it with ``python -m repro.serve``; talk to it with
+:class:`repro.serve.client.ServeClient`.
+"""
+
+from repro.serve.admission import AdmissionDecision, admit, estimate_work
+from repro.serve.cache import CacheStats, ResultCache, make_cache_key
+from repro.serve.client import ServeClient, solve_once
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    decode_message,
+    decode_snapshot,
+    encode_message,
+    encode_snapshot,
+)
+from repro.serve.server import DseServer, ServerConfig
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "AdmissionDecision",
+    "CacheStats",
+    "DseServer",
+    "ResultCache",
+    "ServeClient",
+    "ServerConfig",
+    "admit",
+    "decode_message",
+    "decode_snapshot",
+    "encode_message",
+    "encode_snapshot",
+    "estimate_work",
+    "make_cache_key",
+    "solve_once",
+]

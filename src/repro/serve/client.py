@@ -1,0 +1,186 @@
+"""Asyncio client for the DSE server (JSON-lines transport).
+
+One :class:`ServeClient` holds one connection and runs one request at a
+time (concurrency = many clients, as in the load driver).  The solve
+call collects every anytime snapshot and returns the terminal event::
+
+    client = await ServeClient.connect(host, port)
+    outcome = await client.solve(specification_to_dict(spec))
+    outcome.result["front"], outcome.snapshots
+    await client.close()
+
+:func:`solve_once` wraps connect/solve/close for synchronous callers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.serve.protocol import (
+    ProtocolError,
+    decode_message,
+    decode_snapshot,
+    encode_message,
+)
+
+__all__ = ["SolveOutcome", "ServeClient", "solve_once"]
+
+
+@dataclass
+class SolveOutcome:
+    """Everything one solve request produced."""
+
+    accepted: Dict[str, object]
+    snapshots: List[List[Tuple[int, ...]]] = field(default_factory=list)
+    result: Optional[Dict[str, object]] = None
+    cancelled: Optional[Dict[str, object]] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+    @property
+    def cached(self) -> bool:
+        return bool(self.accepted.get("cached"))
+
+    @property
+    def coalesced(self) -> bool:
+        return bool(self.accepted.get("coalesced"))
+
+
+class ServeClient:
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _request(self, message: Dict[str, object]) -> int:
+        self._next_id += 1
+        message["id"] = self._next_id
+        self._writer.write(encode_message(message))
+        await self._writer.drain()
+        return self._next_id
+
+    async def _read_event(self) -> Dict[str, object]:
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_message(line.strip())
+
+    async def solve(
+        self,
+        spec: Dict[str, object],
+        objectives: Optional[Sequence[str]] = None,
+        options: Optional[Dict[str, object]] = None,
+        subscribe: bool = True,
+        timeout: Optional[float] = None,
+    ) -> SolveOutcome:
+        """Submit a spec; block until the terminal event.
+
+        Raises :class:`ProtocolError` on rejection (admission errors) or
+        malformed requests; returns a :class:`SolveOutcome` otherwise
+        (``cancelled`` runs return with ``result=None``).
+        """
+        request: Dict[str, object] = {
+            "action": "solve",
+            "spec": spec,
+            "subscribe": subscribe,
+        }
+        if objectives is not None:
+            request["objectives"] = list(objectives)
+        if options:
+            request["options"] = dict(options)
+        if timeout is not None:
+            request["timeout"] = timeout
+        request_id = await self._request(request)
+
+        accepted: Optional[Dict[str, object]] = None
+        outcome: Optional[SolveOutcome] = None
+        while True:
+            event = await self._read_event()
+            if event.get("id") != request_id:
+                continue  # stale frames from a previous, abandoned job
+            kind = event.get("event")
+            if kind == "accepted":
+                accepted = event
+                outcome = SolveOutcome(accepted=event)
+            elif kind == "rejected":
+                raise ProtocolError(
+                    f"rejected by admission: {event.get('diagnostics')}"
+                )
+            elif kind == "error":
+                if accepted is None:
+                    raise ProtocolError(str(event.get("message")))
+                outcome.error = str(event.get("message"))
+                return outcome
+            elif kind == "snapshot":
+                if outcome is not None:
+                    outcome.snapshots.append(
+                        decode_snapshot(str(event["delta"]))
+                    )
+            elif kind == "result":
+                if outcome is None:
+                    outcome = SolveOutcome(accepted={})
+                outcome.result = event["result"]
+                return outcome
+            elif kind == "cancelled":
+                if outcome is None:
+                    outcome = SolveOutcome(accepted={})
+                outcome.cancelled = event
+                return outcome
+
+    async def stats(self) -> Dict[str, object]:
+        request_id = await self._request({"action": "stats"})
+        while True:
+            event = await self._read_event()
+            if event.get("id") == request_id and event.get("event") == "stats":
+                return event["stats"]
+
+    async def ping(self) -> Dict[str, object]:
+        request_id = await self._request({"action": "ping"})
+        while True:
+            event = await self._read_event()
+            if event.get("id") == request_id and event.get("event") == "pong":
+                return event
+
+    async def cancel(self, job: int) -> None:
+        await self._request({"action": "cancel", "job": job})
+
+
+def solve_once(
+    host: str,
+    port: int,
+    spec: Dict[str, object],
+    objectives: Optional[Sequence[str]] = None,
+    options: Optional[Dict[str, object]] = None,
+    timeout: Optional[float] = None,
+) -> SolveOutcome:
+    """Synchronous one-shot helper: connect, solve, close."""
+
+    async def run() -> SolveOutcome:
+        client = await ServeClient.connect(host, port)
+        try:
+            return await client.solve(
+                spec, objectives=objectives, options=options, timeout=timeout
+            )
+        finally:
+            await client.close()
+
+    return asyncio.run(run())

@@ -1,0 +1,103 @@
+"""Wire protocol of the serving layer.
+
+Native transport: **newline-delimited JSON** (one UTF-8 JSON object per
+line) over a plain TCP stream.  Requests carry a client-chosen ``id``
+echoed on every response so one connection can multiplex jobs.
+
+Requests::
+
+    {"id": 1, "action": "solve", "spec": {...}, "objectives": [...],
+     "options": {...}, "subscribe": true, "timeout": 30.0}
+    {"id": 1, "action": "cancel", "job": 1}
+    {"id": 2, "action": "stats"}
+    {"id": 3, "action": "ping"}
+
+Response events (all carry the request ``id``):
+
+``accepted``
+    The job passed admission; ``job`` is the server-side job id,
+    ``cached`` tells whether the answer came straight from the result
+    cache, ``coalesced`` whether the request piggybacks on an in-flight
+    identical solve.
+``rejected``
+    Admission failed; ``diagnostics`` holds the validator findings.
+``snapshot``
+    Anytime archive update for subscribed jobs: ``delta`` is a base64
+    :class:`repro.dse.scheduler.ArchiveDelta` blob of newly published
+    objective vectors (decode with :func:`decode_snapshot`).
+``result``
+    Terminal success; ``result`` is the full
+    :meth:`repro.dse.explorer.DseResult.to_dict` payload.
+``cancelled``
+    Terminal: the job was cancelled (client request, disconnect) or
+    timed out (``reason`` distinguishes the two).
+``error``
+    Terminal: malformed request or internal failure; ``message``
+    explains.
+
+The HTTP facade (sniffed on the first request bytes) supports
+``POST /solve`` (JSON spec body, blocks until the final result),
+``GET /stats`` and ``GET /healthz`` — enough for curl and load
+balancer probes; streaming clients use the JSON-lines transport.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Dict, List, Sequence, Tuple
+
+from repro.dse.scheduler import ArchiveDelta
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_LINE_BYTES",
+    "encode_message",
+    "decode_message",
+    "encode_snapshot",
+    "decode_snapshot",
+    "ProtocolError",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one protocol line; longer lines are a protocol error
+#: (guards the server against unbounded buffering on hostile input).
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """Raised for malformed frames."""
+
+
+def encode_message(message: Dict[str, object]) -> bytes:
+    """Serialize one protocol message to a JSON line (bytes)."""
+    return (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_message(line: bytes) -> Dict[str, object]:
+    """Parse one JSON line into a message dict."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"malformed JSON line: {error}") from error
+    if not isinstance(message, dict):
+        raise ProtocolError("protocol messages must be JSON objects")
+    return message
+
+
+def encode_snapshot(vectors: Sequence[Sequence[int]]) -> str:
+    """Pack objective vectors into a base64 ``ArchiveDelta`` blob."""
+    delta = ArchiveDelta(tuple(tuple(vector) for vector in vectors))
+    return base64.b64encode(delta.to_bytes()).decode("ascii")
+
+
+def decode_snapshot(blob: str) -> List[Tuple[int, ...]]:
+    """Unpack a base64 ``ArchiveDelta`` blob into objective vectors."""
+    try:
+        raw = base64.b64decode(blob.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as error:
+        raise ProtocolError(f"malformed snapshot blob: {error}") from error
+    return [tuple(vector) for vector in ArchiveDelta.from_bytes(raw).vectors]

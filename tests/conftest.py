@@ -1,0 +1,29 @@
+"""Shared fixtures: module-level cache isolation.
+
+The only module-level mutable cache in ``src/repro`` is the ground
+program LRU in :mod:`repro.asp.control` (``_ground_cache``).  It is
+*designed* to be shared — a hit changes ``grounds``/``ground_cache_hit``
+statistics but never the ground program — yet that is exactly the kind
+of coupling that makes test outcomes depend on execution order: a test
+asserting ``grounds == 1`` passes alone and fails after any earlier
+test grounded the same program text (or vice versa).  The autouse
+fixture below clears the cache around every test so each one sees a
+cold cache, making the suite order-independent and ``pytest -p
+no:randomly -k <single test>`` reproductions faithful.
+
+(The other analysis passes — domains, symmetry, canonicalization — are
+pure functions without module state; the fuzz reproducer corpus is
+read-only.  See the audit note in docs/SERVING.md.)
+"""
+
+import pytest
+
+from repro.asp.control import clear_ground_cache
+
+
+@pytest.fixture(autouse=True)
+def _isolate_ground_cache():
+    """Every test starts and ends with an empty ground-program LRU."""
+    clear_ground_cache()
+    yield
+    clear_ground_cache()

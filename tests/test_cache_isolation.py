@@ -1,0 +1,85 @@
+"""Regression tests for module-level cache coupling across tests.
+
+The audit behind these tests (docs/SERVING.md): the only module-level
+mutable cache in ``src/repro`` is the ground-program LRU in
+:mod:`repro.asp.control`.  A shared LRU never changes solver *output*
+(the cached artifact is the grounding), but it does change the
+``grounds`` / ``ground_cache_hit`` *statistics*, which is enough to
+make stats-asserting tests order-dependent.  ``tests/conftest.py``
+clears the LRU around every test; the pair of twin tests below fails
+without that fixture in at least one execution order.
+"""
+
+from repro.asp.control import ground_cache_info
+from repro.dse.explorer import ExactParetoExplorer
+from repro.synthesis.encoding import encode
+from repro.synthesis.model import (
+    Application,
+    Architecture,
+    Link,
+    MappingOption,
+    Message,
+    Resource,
+    Specification,
+    Task,
+)
+
+# Deliberately identical in both twin tests: same spec => same program
+# text => same ground-cache key.
+_SPEC = Specification(
+    Application(
+        tasks=(Task("a"), Task("b")),
+        messages=(Message("m", "a", "b", size=2),),
+    ),
+    Architecture(
+        resources=(Resource("fast", cost=8), Resource("slow", cost=2)),
+        links=(Link("f2s", "fast", "slow"), Link("s2f", "slow", "fast")),
+    ),
+    (
+        MappingOption("a", "fast", wcet=2, energy=4),
+        MappingOption("a", "slow", wcet=5, energy=1),
+        MappingOption("b", "fast", wcet=3, energy=6),
+        MappingOption("b", "slow", wcet=7, energy=2),
+    ),
+)
+
+
+def _solve():
+    return ExactParetoExplorer(encode(_SPEC)).run()
+
+
+def test_two_solves_in_one_process_have_independent_stats():
+    """Two back-to-back solves of the same curated spec: identical
+    fronts and per-run search stats; only the grounding counters see
+    the (intended, in-test) LRU hit on the second run."""
+    first = _solve()
+    second = _solve()
+    assert first.vectors() == second.vectors()
+    assert (
+        first.statistics.models_enumerated
+        == second.statistics.models_enumerated
+    )
+    assert first.statistics.pareto_points == second.statistics.pareto_points
+    # Run 1 grounds cold; run 2 is answered by the shared LRU.
+    assert first.statistics.grounds == 1
+    assert not first.statistics.ground_cache_hit
+    assert second.statistics.grounds == 0
+    assert second.statistics.ground_cache_hit
+    assert second.statistics.grounding_seconds == 0.0
+
+
+def test_ground_cache_is_cold_per_test_one():
+    """Twin A: must see a cold cache regardless of execution order."""
+    assert ground_cache_info()["size"] == 0
+    result = _solve()
+    assert result.statistics.grounds == 1
+    assert not result.statistics.ground_cache_hit
+
+
+def test_ground_cache_is_cold_per_test_two():
+    """Twin B: identical body — without the autouse fixture, whichever
+    twin runs second would observe the other's cache entry and fail."""
+    assert ground_cache_info()["size"] == 0
+    result = _solve()
+    assert result.statistics.grounds == 1
+    assert not result.statistics.ground_cache_hit
